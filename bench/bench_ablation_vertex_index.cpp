@@ -1,0 +1,80 @@
+// Ablation: F-Graph's vertex index (Section 6 discusses its rebuild cost,
+// ~10% of BC time, and the alternative of searching per vertex).
+//
+// Three measurements on the same graph:
+//   (1) vertex-index rebuild time alone (prepare()),
+//   (2) PR via the index,
+//   (3) PR via per-vertex binary search (map_neighbors_noindex).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/fgraph.hpp"
+#include "graph/generators.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/table.hpp"
+
+using namespace cpma::graph;
+
+namespace {
+
+// PR variant that bypasses the vertex index entirely.
+std::vector<double> pagerank_noindex(const FGraph& g, int iterations = 10) {
+  const vertex_t n = g.num_vertices();
+  std::vector<double> rank(n, 1.0 / n), contrib(n), next(n), deg(n, 0);
+  cpma::par::parallel_for(0, n, [&](uint64_t v) {
+    uint64_t d = 0;
+    g.map_neighbors_noindex(static_cast<vertex_t>(v),
+                            [&](vertex_t) { ++d; });
+    deg[v] = static_cast<double>(d);
+  }, 16);
+  for (int iter = 0; iter < iterations; ++iter) {
+    cpma::par::parallel_for(0, n, [&](uint64_t v) {
+      contrib[v] = deg[v] == 0 ? 0.0 : rank[v] / deg[v];
+    });
+    cpma::par::parallel_for(0, n, [&](uint64_t v) {
+      double acc = 0;
+      g.map_neighbors_noindex(static_cast<vertex_t>(v),
+                              [&](vertex_t u) { acc += contrib[u]; });
+      next[v] = 0.15 / n + 0.85 * acc;
+    }, 16);
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Ablation: F-Graph vertex index");
+  const uint32_t scale = static_cast<uint32_t>(
+      cpma::util::env_u64("CPMA_BENCH_GRAPH_SCALE", 17));
+  auto edges = symmetrize(rmat_edges(scale, cpma::util::scaled(2'000'000),
+                                     131));
+  FGraph g(1u << scale, edges);
+  std::printf("# n=%u m=%zu\n", 1u << scale, edges.size());
+
+  double prep = cpma::util::time_trials([&] { g.prepare(); },
+                                        bench::trials(), 1);
+  double pr_idx = cpma::util::time_trials([&] { pagerank(g); },
+                                          bench::trials(), 1);
+  double pr_noidx = cpma::util::time_trials([&] { pagerank_noindex(g); },
+                                            bench::trials(), 1);
+
+  cpma::util::Table table({"measurement", "seconds", "vs_indexed"});
+  table.print_header();
+  table.cell_str("index rebuild");
+  table.cell_fixed(prep, 4);
+  table.cell_ratio(prep / pr_idx);
+  table.end_row();
+  table.cell_str("PR (indexed)");
+  table.cell_fixed(pr_idx, 4);
+  table.cell_ratio(1.0);
+  table.end_row();
+  table.cell_str("PR (no index)");
+  table.cell_fixed(pr_noidx, 4);
+  table.cell_ratio(pr_noidx / pr_idx);
+  table.end_row();
+  return 0;
+}

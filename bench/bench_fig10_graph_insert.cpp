@@ -1,0 +1,66 @@
+// Figure 10 / Table 15: dynamic-graph batch-insert throughput as a function
+// of batch size, for F-Graph, C-PaC, and Aspen-like. The base graph is built
+// first; the inserted batches are sampled from an RMAT generator (a=.5,
+// b=c=.1, d=.3), the paper's configuration.
+//
+// Expected shape (paper): F-Graph ~2-3x both tree systems across batch
+// sizes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/fgraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree_graphs.hpp"
+#include "util/table.hpp"
+
+using namespace cpma::graph;
+
+namespace {
+
+template <typename G>
+double run(vertex_t n, const std::vector<uint64_t>& base_edges,
+           const std::vector<uint64_t>& stream, uint64_t batch) {
+  G g(n, base_edges);
+  std::vector<uint64_t> scratch;
+  cpma::util::Timer t;
+  for (uint64_t off = 0; off < stream.size(); off += batch) {
+    uint64_t len = std::min<uint64_t>(batch, stream.size() - off);
+    scratch.assign(stream.begin() + off, stream.begin() + off + len);
+    g.insert_edges(std::move(scratch));
+    scratch.clear();
+  }
+  return static_cast<double>(stream.size()) / t.elapsed_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Figure 10 / Table 15: graph batch inserts");
+  const uint32_t scale = static_cast<uint32_t>(
+      cpma::util::env_u64("CPMA_BENCH_GRAPH_SCALE", 17));
+  const uint64_t m = cpma::util::scaled(2'000'000);
+  auto base_edges = symmetrize(rmat_edges(scale, m, 101));
+  // Directed insert stream with potential duplicates, as in the paper.
+  auto stream = rmat_edges(scale, cpma::util::scaled(1'000'000), 102);
+  std::printf("# base graph: n=%u m=%zu | stream=%zu directed edges\n",
+              1u << scale, base_edges.size(), stream.size());
+
+  std::vector<uint64_t> batch_sizes{100, 1000, 10000, 100000, 1000000};
+  cpma::util::Table table({"batch", "Aspen", "C-PaC", "F-Graph", "F/Aspen",
+                           "F/C-PaC"});
+  table.print_header();
+  for (uint64_t bs : batch_sizes) {
+    double a = run<AspenGraph>(1u << scale, base_edges, stream, bs);
+    double c = run<CPacGraph>(1u << scale, base_edges, stream, bs);
+    double f = run<FGraph>(1u << scale, base_edges, stream, bs);
+    table.cell_u64(bs);
+    table.cell_sci(a);
+    table.cell_sci(c);
+    table.cell_sci(f);
+    table.cell_ratio(f / a);
+    table.cell_ratio(f / c);
+    table.end_row();
+  }
+  return 0;
+}

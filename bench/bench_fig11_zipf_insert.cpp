@@ -1,0 +1,63 @@
+// Figure 11 / Table 13: parallel batch-insert throughput with batches drawn
+// from a zipfian distribution (34-bit keys, alpha = 0.99), for P-trees,
+// U-PaC, C-PaC, PMA, and CPMA. The base load is uniform 40-bit, as in the
+// paper.
+//
+// Expected shape (paper): same ordering as the uniform case; the PMA/CPMA
+// benefit more from skew than trees at mid-size batches (shared per-leaf
+// work), and zipfian throughput exceeds uniform throughput at large batches.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/pactree.hpp"
+#include "baselines/ptree.hpp"
+#include "bench_common.hpp"
+#include "pma/cpma.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+template <typename S>
+double run_row(const std::vector<uint64_t>& base,
+               const std::vector<uint64_t>& inserts, uint64_t batch_size) {
+  double best = 0;
+  for (int t = 0; t < bench::trials(); ++t) {
+    S s;
+    std::vector<uint64_t> b = base;
+    s.insert_batch(b.data(), b.size());
+    best = std::max(best,
+                    bench::batch_insert_throughput(s, inserts, batch_size));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Figure 11 / Table 13: zipfian batch inserts");
+  auto base = bench::uniform_keys(bench::base_n(), 81);
+  auto inserts = bench::zipf_keys(bench::insert_n(), 82);
+
+  std::vector<uint64_t> batch_sizes{10, 100, 1000, 10000, 100000, 1000000};
+  cpma::util::Table table({"batch", "P-tree", "U-PaC", "PMA", "PMA/P-tree",
+                           "C-PaC", "CPMA", "CPMA/C-PaC", "CPMA/PMA"});
+  table.print_header();
+  for (uint64_t bs : batch_sizes) {
+    double ptree = run_row<cpma::baselines::PTree>(base, inserts, bs);
+    double upac = run_row<cpma::baselines::UPacTree>(base, inserts, bs);
+    double pma = run_row<cpma::PMA>(base, inserts, bs);
+    double cpac = run_row<cpma::baselines::CPacTree>(base, inserts, bs);
+    double cc = run_row<cpma::CPMA>(base, inserts, bs);
+    table.cell_u64(bs);
+    table.cell_sci(ptree);
+    table.cell_sci(upac);
+    table.cell_sci(pma);
+    table.cell_ratio(pma / ptree);
+    table.cell_sci(cpac);
+    table.cell_sci(cc);
+    table.cell_ratio(cc / cpac);
+    table.cell_ratio(cc / pma);
+    table.end_row();
+  }
+  return 0;
+}

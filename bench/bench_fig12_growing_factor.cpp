@@ -1,0 +1,59 @@
+// Figures 12 & 13 (Appendix C): growing-factor sensitivity of the CPMA.
+// Sweeps g in {1.1 .. 2.0}: batch-insert throughput, average and worst-case
+// space per element, and average full-scan time per element.
+//
+// Expected shape (paper): smaller g => smaller average size and faster
+// scans; insert throughput peaks at an intermediate g (~1.5): tiny factors
+// copy too often, big factors search/rebalance larger arrays.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pma/cpma.hpp"
+#include "util/table.hpp"
+
+int main() {
+  bench::print_config_line("Figures 12-13: growing-factor sensitivity");
+  const uint64_t total = bench::base_n() + bench::insert_n();
+  const uint64_t batch = std::max<uint64_t>(1, total / 100);
+  auto keys = bench::uniform_keys(total, 121);
+
+  cpma::util::Table table({"factor", "ins_TP", "avg_B/elt", "max_B/elt",
+                           "scan_ns/elt"});
+  table.print_header();
+  for (double g : {1.1, 1.2, 1.3, 1.5, 1.7, 2.0}) {
+    cpma::pma::PmaSettings settings;
+    settings.growth_factor = g;
+    cpma::CPMA s(settings);
+    std::vector<uint64_t> scratch;
+    double avg_bpe = 0, max_bpe = 0, scan_total = 0;
+    uint64_t rounds = 0;
+    cpma::util::Timer insert_timer;
+    double insert_secs = 0;
+    for (uint64_t off = 0; off < total; off += batch) {
+      uint64_t len = std::min<uint64_t>(batch, total - off);
+      scratch.assign(keys.begin() + off, keys.begin() + off + len);
+      insert_timer.reset();
+      s.insert_batch(scratch.data(), len);
+      insert_secs += insert_timer.elapsed_seconds();
+      // After each batch: record space and scan time (Figure 13's series).
+      double bpe = static_cast<double>(s.get_size()) /
+                   static_cast<double>(s.size());
+      avg_bpe += bpe;
+      max_bpe = std::max(max_bpe, bpe);
+      cpma::util::Timer scan_timer;
+      volatile uint64_t sink = s.sum();
+      (void)sink;
+      scan_total +=
+          scan_timer.elapsed_seconds() / static_cast<double>(s.size());
+      ++rounds;
+    }
+    table.cell_ratio(g);
+    table.cell_sci(static_cast<double>(total) / insert_secs);
+    table.cell_ratio(avg_bpe / rounds);
+    table.cell_ratio(max_bpe);
+    table.cell_fixed(scan_total / rounds * 1e9, 3);
+    table.end_row();
+  }
+  return 0;
+}

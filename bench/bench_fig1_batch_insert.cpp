@@ -1,0 +1,67 @@
+// Figure 1 / Table 9: parallel batch-insert throughput as a function of
+// batch size, for P-trees, U-PaC, C-PaC, PMA, and CPMA.
+//
+// Paper protocol: start with 1e8 uniform-random 40-bit keys, insert 1e8 more
+// in batches of the given size; report inserts/second. Scaled here by
+// CPMA_BENCH_SCALE (defaults: 1e6 + 1e6).
+//
+// Expected shape (paper): CPMA ~3x C-PaC on average; PMA ~1.5x P-trees;
+// PMA/CPMA win most at small-to-medium batches, trees catch up at the
+// largest batches.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/pactree.hpp"
+#include "baselines/ptree.hpp"
+#include "bench_common.hpp"
+#include "pma/cpma.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+template <typename S>
+double run_row(const std::vector<uint64_t>& base,
+               const std::vector<uint64_t>& inserts, uint64_t batch_size) {
+  double best = 0;
+  for (int t = 0; t < bench::trials(); ++t) {
+    S s;
+    std::vector<uint64_t> b = base;
+    s.insert_batch(b.data(), b.size());
+    double tp = bench::batch_insert_throughput(s, inserts, batch_size);
+    best = std::max(best, tp);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Figure 1 / Table 9: batch-insert throughput");
+  auto base = bench::uniform_keys(bench::base_n(), 1);
+  auto inserts = bench::uniform_keys(bench::insert_n(), 2);
+
+  std::vector<uint64_t> batch_sizes{10, 100, 1000, 10000, 100000, 1000000};
+  if (bench::insert_n() >= 10'000'000) batch_sizes.push_back(10'000'000);
+
+  cpma::util::Table table({"batch", "P-tree", "U-PaC", "PMA", "PMA/P-tree",
+                           "C-PaC", "CPMA", "CPMA/C-PaC", "CPMA/PMA"});
+  table.print_header();
+  for (uint64_t bs : batch_sizes) {
+    double ptree = run_row<cpma::baselines::PTree>(base, inserts, bs);
+    double upac = run_row<cpma::baselines::UPacTree>(base, inserts, bs);
+    double pma = run_row<cpma::PMA>(base, inserts, bs);
+    double cpac = run_row<cpma::baselines::CPacTree>(base, inserts, bs);
+    double cc = run_row<cpma::CPMA>(base, inserts, bs);
+    table.cell_u64(bs);
+    table.cell_sci(ptree);
+    table.cell_sci(upac);
+    table.cell_sci(pma);
+    table.cell_ratio(pma / ptree);
+    table.cell_sci(cpac);
+    table.cell_sci(cc);
+    table.cell_ratio(cc / cpac);
+    table.cell_ratio(cc / pma);
+    table.end_row();
+  }
+  return 0;
+}

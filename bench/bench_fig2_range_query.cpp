@@ -1,0 +1,96 @@
+// Figure 2 / Table 10: range-query throughput (elements processed per
+// second) as a function of the expected range length, for P-trees, U-PaC,
+// C-PaC, PMA, and CPMA.
+//
+// Paper protocol: structure holds 1e8 keys; 100,000 parallel range queries
+// per length. Scaled here: the query count adapts so each row processes a
+// bounded number of elements.
+//
+// Expected shape (paper): PMA 9-27x P-trees; CPMA 1.2-10x C-PaC, advantage
+// growing with range length; CPMA overtakes PMA on the longest ranges
+// (compression = fewer bytes through the memory system).
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/pactree.hpp"
+#include "baselines/ptree.hpp"
+#include "bench_common.hpp"
+#include "parallel/scheduler.hpp"
+#include "pma/cpma.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// Parallel range queries; returns elements/second.
+template <typename S>
+double query_throughput(const S& s, uint64_t len, uint64_t queries,
+                        uint64_t seed) {
+  std::atomic<uint64_t> total{0};
+  cpma::util::Timer t;
+  cpma::par::parallel_for(0, queries, [&](uint64_t q) {
+    uint64_t start = cpma::util::uniform_key(seed ^ 0xabcd, q);
+    uint64_t acc = 0;
+    uint64_t cnt = s.map_range_length([&](uint64_t k) { acc += k; }, start,
+                                      len);
+    (void)acc;
+    total.fetch_add(cnt, std::memory_order_relaxed);
+  }, 1);
+  double secs = t.elapsed_seconds();
+  return static_cast<double>(total.load()) / secs;
+}
+
+template <typename S>
+S build(const std::vector<uint64_t>& base) {
+  S s;
+  std::vector<uint64_t> b = base;
+  s.insert_batch(b.data(), b.size());
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Figure 2 / Table 10: range-query throughput");
+  auto base = bench::uniform_keys(bench::base_n(), 3);
+
+  auto ptree = build<cpma::baselines::PTree>(base);
+  auto upac = build<cpma::baselines::UPacTree>(base);
+  auto cpac = build<cpma::baselines::CPacTree>(base);
+  auto pma = build<cpma::PMA>(base);
+  auto cpma_s = build<cpma::CPMA>(base);
+
+  // Range lengths follow the paper's sweep, capped at ~20% of the data.
+  std::vector<uint64_t> lengths{6, 50, 400, 3000, 20000, 200000};
+  while (lengths.back() > bench::base_n() / 5) lengths.pop_back();
+  const uint64_t target_volume = 50'000'000;
+
+  cpma::util::Table table({"avg_len", "queries", "P-tree", "U-PaC", "PMA",
+                           "PMA/P-tree", "C-PaC", "CPMA", "CPMA/C-PaC",
+                           "CPMA/PMA"});
+  table.print_header();
+  for (uint64_t len : lengths) {
+    uint64_t queries =
+        std::max<uint64_t>(64, std::min<uint64_t>(10000, target_volume / len));
+    double tp_pt = 0, tp_up = 0, tp_cp = 0, tp_p = 0, tp_c = 0;
+    for (int t = 0; t < bench::trials(); ++t) {
+      tp_pt = std::max(tp_pt, query_throughput(ptree, len, queries, 7 + t));
+      tp_up = std::max(tp_up, query_throughput(upac, len, queries, 7 + t));
+      tp_cp = std::max(tp_cp, query_throughput(cpac, len, queries, 7 + t));
+      tp_p = std::max(tp_p, query_throughput(pma, len, queries, 7 + t));
+      tp_c = std::max(tp_c, query_throughput(cpma_s, len, queries, 7 + t));
+    }
+    table.cell_u64(len);
+    table.cell_u64(queries);
+    table.cell_sci(tp_pt);
+    table.cell_sci(tp_up);
+    table.cell_sci(tp_p);
+    table.cell_ratio(tp_p / tp_pt);
+    table.cell_sci(tp_cp);
+    table.cell_sci(tp_c);
+    table.cell_ratio(tp_c / tp_cp);
+    table.cell_ratio(tp_c / tp_p);
+    table.end_row();
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7 / Table 11: strong scaling of batch inserts in the PMA and CPMA.
+//
+// Paper protocol: start with 1e8 keys, insert 100 batches of 1e6; sweep core
+// counts. Scaled here (defaults: 1e6 base, batches of insert_n/100), sweeping
+// 1, 2, 4, ... up to the machine's cores.
+//
+// Expected shape (paper): both scale; CPMA overtakes PMA at high core counts
+// because inserts become memory-bound and compression buys bandwidth (PMA
+// up to ~19x, CPMA up to ~43x on 64 cores / 128 threads).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "parallel/scheduler.hpp"
+#include "pma/cpma.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+template <typename S>
+double run(const std::vector<uint64_t>& base,
+           const std::vector<uint64_t>& inserts, uint64_t batch) {
+  S s;
+  std::vector<uint64_t> b = base;
+  s.insert_batch(b.data(), b.size());
+  return bench::batch_insert_throughput(s, inserts, batch);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Figure 7 / Table 11: batch-insert scaling");
+  auto base = bench::uniform_keys(bench::base_n(), 61);
+  auto inserts = bench::uniform_keys(bench::insert_n(), 62);
+  const uint64_t batch = std::max<uint64_t>(1, bench::insert_n() / 100);
+
+  unsigned hw = std::thread::hardware_concurrency();
+  std::vector<unsigned> cores;
+  for (unsigned c = 1; c < hw; c *= 2) cores.push_back(c);
+  cores.push_back(hw);
+
+  double pma1 = 0, cpma1 = 0;
+  cpma::util::Table table({"cores", "PMA_TP", "PMA_speedup", "CPMA_TP",
+                           "CPMA_speedup"});
+  table.print_header();
+  for (unsigned c : cores) {
+    cpma::par::Scheduler::set_num_workers(c);
+    double pma = run<cpma::PMA>(base, inserts, batch);
+    double cc = run<cpma::CPMA>(base, inserts, batch);
+    if (c == 1) {
+      pma1 = pma;
+      cpma1 = cc;
+    }
+    table.cell_u64(c);
+    table.cell_sci(pma);
+    table.cell_ratio(pma / pma1);
+    table.cell_sci(cc);
+    table.cell_ratio(cc / cpma1);
+    table.end_row();
+  }
+  cpma::par::Scheduler::set_num_workers(hw);
+  return 0;
+}

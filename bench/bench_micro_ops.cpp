@@ -1,0 +1,97 @@
+// Google-benchmark microbenchmarks for the point-operation layer: insert,
+// membership, successor, and leaf codec throughput for both PMA and CPMA.
+// Complements the table-shaped harnesses with stable ns/op numbers.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "codec/varint.hpp"
+#include "pma/cpma.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+template <typename S>
+S build(uint64_t n, uint64_t seed) {
+  std::vector<uint64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = cpma::util::uniform_key(seed, i);
+  S s;
+  s.insert_batch(keys.data(), keys.size());
+  return s;
+}
+
+template <typename S>
+void BM_PointInsert(benchmark::State& state) {
+  auto s = build<S>(static_cast<uint64_t>(state.range(0)), 1);
+  uint64_t i = 1'000'000'000;
+  for (auto _ : state) {
+    s.insert(cpma::util::uniform_key(2, i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename S>
+void BM_Has(benchmark::State& state) {
+  auto s = build<S>(static_cast<uint64_t>(state.range(0)), 3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.has(cpma::util::uniform_key(3, i++ % 100000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename S>
+void BM_Successor(benchmark::State& state) {
+  auto s = build<S>(static_cast<uint64_t>(state.range(0)), 4);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.successor(cpma::util::uniform_key(5, i++)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+template <typename S>
+void BM_Sum(benchmark::State& state) {
+  auto s = build<S>(static_cast<uint64_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.sum());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_VarintEncodeDecode(benchmark::State& state) {
+  std::vector<uint64_t> values(4096);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = cpma::util::hash64(i) >> (i % 40);
+  }
+  std::vector<uint8_t> buf(values.size() * cpma::codec::kMaxVarintBytes);
+  for (auto _ : state) {
+    size_t pos = 0;
+    for (uint64_t v : values) {
+      pos += cpma::codec::varint_encode(v, buf.data() + pos);
+    }
+    uint64_t total = 0;
+    size_t rpos = 0;
+    for (size_t i = 0; i < values.size(); ++i) {
+      uint64_t v;
+      rpos += cpma::codec::varint_decode(buf.data() + rpos, &v);
+      total += v;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_PointInsert, cpma::PMA)->Arg(100000)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_PointInsert, cpma::CPMA)->Arg(100000)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_Has, cpma::PMA)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_Has, cpma::CPMA)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_Successor, cpma::PMA)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_Successor, cpma::CPMA)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_Sum, cpma::PMA)->Arg(1000000);
+BENCHMARK_TEMPLATE(BM_Sum, cpma::CPMA)->Arg(1000000);
+BENCHMARK(BM_VarintEncodeDecode);
+
+BENCHMARK_MAIN();

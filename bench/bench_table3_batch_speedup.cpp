@@ -1,0 +1,68 @@
+// Table 3: throughput of serial and parallel batch insertion in the PMA as a
+// function of batch size, with the speedups of (a) serial batch over serial
+// point inserts, (b) parallel batch over serial batch.
+//
+// Expected shape (paper): serial batch up to ~3x point inserts at the
+// largest batches; parallel batch up to ~19-24x serial batch at 1e6-1e7
+// (bounded by core count here).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "parallel/scheduler.hpp"
+#include "pma/cpma.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double serial_point_throughput(const std::vector<uint64_t>& base,
+                               const std::vector<uint64_t>& inserts) {
+  cpma::PMA s;
+  std::vector<uint64_t> b = base;
+  s.insert_batch(b.data(), b.size());
+  cpma::util::Timer t;
+  for (uint64_t k : inserts) s.insert(k);
+  return static_cast<double>(inserts.size()) / t.elapsed_seconds();
+}
+
+double batch_throughput(const std::vector<uint64_t>& base,
+                        const std::vector<uint64_t>& inserts, uint64_t batch) {
+  cpma::PMA s;
+  std::vector<uint64_t> b = base;
+  s.insert_batch(b.data(), b.size());
+  return bench::batch_insert_throughput(s, inserts, batch);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Table 3: serial vs parallel batch inserts (PMA)");
+  auto base = bench::uniform_keys(bench::base_n(), 21);
+  auto inserts = bench::uniform_keys(bench::insert_n(), 22);
+  unsigned hw = std::thread::hardware_concurrency();
+
+  // Serial point-insert baseline (the denominator of "overall speedup").
+  cpma::par::Scheduler::set_num_workers(1);
+  double point_tp = serial_point_throughput(base, inserts);
+  std::printf("# serial point-insert throughput: %.1E inserts/s\n", point_tp);
+
+  std::vector<uint64_t> batch_sizes{100, 1000, 10000, 100000, 1000000};
+  cpma::util::Table table({"batch", "serial_TP", "ser/point", "parallel_TP",
+                           "par/serial", "overall"});
+  table.print_header();
+  for (uint64_t bs : batch_sizes) {
+    cpma::par::Scheduler::set_num_workers(1);
+    double ser = batch_throughput(base, inserts, bs);
+    cpma::par::Scheduler::set_num_workers(hw);
+    double par_tp = batch_throughput(base, inserts, bs);
+    table.cell_u64(bs);
+    table.cell_sci(ser);
+    table.cell_ratio(ser / point_tp);
+    table.cell_sci(par_tp);
+    table.cell_ratio(par_tp / ser);
+    table.cell_ratio(par_tp / point_tp);
+    table.end_row();
+  }
+  return 0;
+}

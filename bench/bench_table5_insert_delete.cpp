@@ -1,0 +1,62 @@
+// Table 5: parallel batch inserts AND deletes for the PMA and CPMA, under
+// uniform (40-bit) and zipfian (34-bit, alpha=0.99) key distributions.
+//
+// Expected shape (paper): deletes 1.5-2x faster than inserts at large
+// batches (no overflow buffers to allocate); zipfian inserts faster than
+// uniform at large batches (shared search/redistribution work).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pma/cpma.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Row {
+  double ins, del;
+};
+
+template <typename S>
+Row run(const std::vector<uint64_t>& base, const std::vector<uint64_t>& ops,
+        uint64_t batch) {
+  S s;
+  std::vector<uint64_t> b = base;
+  s.insert_batch(b.data(), b.size());
+  Row r;
+  r.ins = bench::batch_insert_throughput(s, ops, batch);
+  r.del = bench::batch_remove_throughput(s, ops, batch);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Table 5: batch insert/delete, uniform & zipfian");
+  auto base = bench::uniform_keys(bench::base_n(), 41);
+  auto uni = bench::uniform_keys(bench::insert_n(), 42);
+  auto zip = bench::zipf_keys(bench::insert_n(), 43);
+
+  std::vector<uint64_t> batch_sizes{10, 100, 1000, 10000, 100000, 1000000};
+  cpma::util::Table table({"dist", "batch", "PMA_ins", "PMA_del", "D/I",
+                           "CPMA_ins", "CPMA_del", "D/I"},
+                          12);
+  table.print_header();
+  for (int dist = 0; dist < 2; ++dist) {
+    const auto& ops = dist == 0 ? uni : zip;
+    for (uint64_t bs : batch_sizes) {
+      Row pma = run<cpma::PMA>(base, ops, bs);
+      Row cc = run<cpma::CPMA>(base, ops, bs);
+      table.cell_str(dist == 0 ? "uniform" : "zipf");
+      table.cell_u64(bs);
+      table.cell_sci(pma.ins);
+      table.cell_sci(pma.del);
+      table.cell_ratio(pma.del / pma.ins);
+      table.cell_sci(cc.ins);
+      table.cell_sci(cc.del);
+      table.cell_ratio(cc.del / cc.ins);
+      table.end_row();
+    }
+  }
+  return 0;
+}

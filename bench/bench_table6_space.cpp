@@ -1,0 +1,55 @@
+// Table 6: bytes per element for U-PaC, PMA, C-PaC, CPMA (and P-trees' fixed
+// 32 B/element) as the number of elements grows.
+//
+// Expected shape (paper): PMA ~10-12 B/elt; CPMA ~3-5 B/elt (>=2x smaller);
+// CPMA/C-PaC ~1 (similar sizes); compression improves with n because key
+// spacing shrinks.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/pactree.hpp"
+#include "baselines/ptree.hpp"
+#include "bench_common.hpp"
+#include "pma/cpma.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+template <typename S>
+double bytes_per_element(uint64_t n, uint64_t seed) {
+  auto keys = bench::uniform_keys(n, seed);
+  S s;
+  s.insert_batch(keys.data(), keys.size());
+  return static_cast<double>(s.get_size()) / static_cast<double>(s.size());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("Table 6: bytes per element");
+  std::vector<uint64_t> sizes{100'000, 1'000'000};
+  if (cpma::util::bench_scale() >= 10) sizes.push_back(10'000'000);
+  if (cpma::util::bench_scale() >= 100) sizes.push_back(100'000'000);
+
+  cpma::util::Table table({"n", "P-tree", "U-PaC", "PMA", "PMA/U-PaC",
+                           "C-PaC", "CPMA", "CPMA/C-PaC", "CPMA/PMA"});
+  table.print_header();
+  for (uint64_t n : sizes) {
+    double ptree = bytes_per_element<cpma::baselines::PTree>(n, 51);
+    double upac = bytes_per_element<cpma::baselines::UPacTree>(n, 51);
+    double pma = bytes_per_element<cpma::PMA>(n, 51);
+    double cpac = bytes_per_element<cpma::baselines::CPacTree>(n, 51);
+    double cc = bytes_per_element<cpma::CPMA>(n, 51);
+    table.cell_u64(n);
+    table.cell_ratio(ptree);
+    table.cell_ratio(upac);
+    table.cell_ratio(pma);
+    table.cell_ratio(pma / upac);
+    table.cell_ratio(cpac);
+    table.cell_ratio(cc);
+    table.cell_ratio(cc / cpac);
+    table.cell_ratio(cc / pma);
+    table.end_row();
+  }
+  return 0;
+}

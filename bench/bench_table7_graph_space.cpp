@@ -1,0 +1,57 @@
+// Table 7: memory used to store the graphs in F-Graph, C-PaC, and
+// Aspen-like, on RMAT and Erdős–Rényi graphs of growing size.
+//
+// Expected shape (paper): F/C-PaC ~0.9-1.0 (marginally smaller), F/Aspen
+// ~0.5-0.8 (substantially smaller; the functional chunks and per-vertex
+// indirection cost space).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/fgraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree_graphs.hpp"
+#include "util/table.hpp"
+
+using namespace cpma::graph;
+
+int main() {
+  bench::print_config_line("Table 7: graph memory footprint");
+  cpma::util::Table table({"graph", "n", "m", "F-Graph_MB", "C-PaC_MB",
+                           "Aspen_MB", "F/C", "F/A"});
+  table.print_header();
+
+  struct Config {
+    const char* name;
+    uint32_t scale;
+    uint64_t m;
+  };
+  std::vector<Config> configs{{"RMAT-s15", 15, cpma::util::scaled(500'000)},
+                              {"RMAT-s17", 17, cpma::util::scaled(2'000'000)},
+                              {"ER-s17", 17, cpma::util::scaled(2'000'000)}};
+  for (const auto& cfg : configs) {
+    std::vector<uint64_t> edges;
+    if (cfg.name[0] == 'E') {
+      double p = static_cast<double>(cfg.m) / (1ull << (2 * cfg.scale));
+      edges = symmetrize(erdos_renyi_edges(1u << cfg.scale, p, 111));
+    } else {
+      edges = symmetrize(rmat_edges(cfg.scale, cfg.m, 112));
+    }
+    FGraph f(1u << cfg.scale, edges);
+    CPacGraph c(1u << cfg.scale, edges);
+    AspenGraph a(1u << cfg.scale, edges);
+    double fs = static_cast<double>(f.get_size()) / 1e6;
+    double cs = static_cast<double>(c.get_size()) / 1e6;
+    double as = static_cast<double>(a.get_size()) / 1e6;
+    table.cell_str(cfg.name);
+    table.cell_u64(1u << cfg.scale);
+    table.cell_u64(edges.size());
+    table.cell_ratio(fs);
+    table.cell_ratio(cs);
+    table.cell_ratio(as);
+    table.cell_ratio(fs / cs);
+    table.cell_ratio(fs / as);
+    table.end_row();
+  }
+  return 0;
+}

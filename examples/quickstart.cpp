@@ -1,0 +1,71 @@
+// Quickstart: the CPMA as a drop-in dynamic ordered set.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the full public API from the paper's artifact appendix:
+// construction, point ops, batch ops, ordered scans, range maps, and space
+// introspection, printing what each step does.
+#include <cstdio>
+#include <vector>
+
+#include "pma/cpma.hpp"
+
+int main() {
+  // A CPMA is a compressed, batch-parallel ordered set of 64-bit keys.
+  cpma::CPMA set;
+
+  // --- point operations ----------------------------------------------------
+  set.insert(42);
+  set.insert(7);
+  set.insert(1000000);
+  std::printf("after 3 inserts: size=%llu, has(42)=%d, has(43)=%d\n",
+              (unsigned long long)set.size(), set.has(42), set.has(43));
+
+  set.remove(42);
+  std::printf("after remove(42): has(42)=%d\n", set.has(42));
+
+  // --- batch operations (the paper's parallel batch-update algorithm) -----
+  std::vector<uint64_t> batch;
+  for (uint64_t i = 1; i <= 100000; ++i) batch.push_back(i * 13);
+  uint64_t added = set.insert_batch(batch.data(), batch.size());
+  std::printf("insert_batch of %zu keys: %llu new (size=%llu)\n",
+              batch.size(), (unsigned long long)added,
+              (unsigned long long)set.size());
+
+  // --- ordered queries -----------------------------------------------------
+  std::printf("min=%llu max=%llu sum=%llu\n", (unsigned long long)set.min(),
+              (unsigned long long)set.max(), (unsigned long long)set.sum());
+  auto suc = set.successor(1000);
+  std::printf("successor(1000) = %llu\n",
+              (unsigned long long)(suc ? *suc : 0));
+
+  // --- range maps ----------------------------------------------------------
+  uint64_t in_range = 0;
+  set.map_range([&](uint64_t) { ++in_range; }, 130, 1300);
+  std::printf("keys in [130, 1300): %llu\n", (unsigned long long)in_range);
+
+  uint64_t first5[5] = {0};
+  int idx = 0;
+  set.map_range_length([&](uint64_t k) { first5[idx++] = k; }, 100, 5);
+  std::printf("5 keys starting at >=100: %llu %llu %llu %llu %llu\n",
+              (unsigned long long)first5[0], (unsigned long long)first5[1],
+              (unsigned long long)first5[2], (unsigned long long)first5[3],
+              (unsigned long long)first5[4]);
+
+  // --- iteration & space ---------------------------------------------------
+  uint64_t count = 0;
+  for (uint64_t k : set) {
+    (void)k;
+    ++count;
+  }
+  std::printf("iterated %llu keys; structure uses %.2f bytes/key "
+              "(compressed; an uncompressed set would use 8+)\n",
+              (unsigned long long)count,
+              (double)set.get_size() / (double)set.size());
+
+  // Batch removal.
+  uint64_t removed = set.remove_batch(batch.data(), batch.size());
+  std::printf("remove_batch: removed %llu, size now %llu\n",
+              (unsigned long long)removed, (unsigned long long)set.size());
+  return 0;
+}

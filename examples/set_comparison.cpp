@@ -1,0 +1,72 @@
+// Side-by-side comparison of every set container in this repository on one
+// mixed workload — a miniature version of the paper's microbenchmark suite
+// that a prospective user can run to pick a structure.
+//
+//   $ ./examples/set_comparison [n]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "baselines/pactree.hpp"
+#include "baselines/ptree.hpp"
+#include "pma/cpma.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+template <typename S>
+void run(const char* name, uint64_t n) {
+  cpma::util::Timer t;
+  // Bulk load.
+  std::vector<uint64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = cpma::util::uniform_key(1, i);
+  S s;
+  s.insert_batch(keys.data(), n);
+  double load_ms = t.elapsed_seconds() * 1e3;
+
+  // Batched updates (1% batches).
+  t.reset();
+  std::vector<uint64_t> batch(n / 100);
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t i = 0; i < batch.size(); ++i) {
+      batch[i] = cpma::util::uniform_key(2 + round, i);
+    }
+    s.insert_batch(batch.data(), batch.size());
+  }
+  double update_ms = t.elapsed_seconds() * 1e3;
+
+  // Full ordered scan.
+  t.reset();
+  uint64_t sum = s.sum();
+  double scan_ms = t.elapsed_seconds() * 1e3;
+
+  // Range queries.
+  t.reset();
+  uint64_t hits = 0;
+  for (int q = 0; q < 1000; ++q) {
+    uint64_t start = cpma::util::uniform_key(99, q);
+    hits += s.map_range_length([](uint64_t) {}, start, 1000);
+  }
+  double range_ms = t.elapsed_seconds() * 1e3;
+
+  std::printf("%-7s load %7.1f ms | 10x1%% updates %7.1f ms | scan %6.1f ms "
+              "| 1k ranges %6.1f ms | %5.2f B/key (sum=%llx, hits=%llu)\n",
+              name, load_ms, update_ms, scan_ms, range_ms,
+              (double)s.get_size() / (double)s.size(),
+              (unsigned long long)sum, (unsigned long long)hits);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t n = argc > 1 ? std::atoll(argv[1]) : 2'000'000;
+  std::printf("mixed workload, n=%llu 40-bit uniform keys\n",
+              (unsigned long long)n);
+  run<cpma::CPMA>("CPMA", n);
+  run<cpma::PMA>("PMA", n);
+  run<cpma::baselines::CPacTree>("C-PaC", n);
+  run<cpma::baselines::UPacTree>("U-PaC", n);
+  run<cpma::baselines::PTree>("P-tree", n);
+  return 0;
+}

@@ -1,0 +1,366 @@
+// P-tree baseline: a batch-parallel, join-based binary search tree in the
+// style of PAM [Sun et al., PPoPP'18], the uncompressed pointer-based
+// comparator in the paper's Figures 1-2 and Tables 9-10.
+//
+// Implementation notes. PAM uses weight-balanced trees with join-based bulk
+// operations; we use the equivalent join-based family member that is simplest
+// to make correct: a treap whose priorities are derived from the key hash
+// (hash64(key)), i.e. a deterministic zip-tree. Expected height is O(log n),
+// union/difference are the classic parallel split/join recursions with the
+// same asymptotic work bounds (O(m log(n/m + 1))), and a node is
+// key + two pointers = 24 bytes (32 with allocator rounding) — matching the
+// paper's "P-trees take a fixed 32 bytes per element".
+//
+// Like PAM's in-place mode (which the paper benchmarks), updates mutate the
+// tree; there is a single writer, and parallel reads phase with updates.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+#include "parallel/seq_ops.hpp"
+#include "parallel/sort.hpp"
+#include "util/random.hpp"
+
+namespace cpma::baselines {
+
+class PTree {
+ public:
+  using key_type = uint64_t;
+
+  PTree() = default;
+  ~PTree() { destroy(root_); }
+  PTree(const PTree&) = delete;
+  PTree& operator=(const PTree&) = delete;
+  PTree(PTree&& o) noexcept : root_(o.root_), count_(o.count_) {
+    o.root_ = nullptr;
+    o.count_ = 0;
+  }
+
+  uint64_t size() const { return count_; }
+
+  bool has(key_type k) const {
+    const Node* n = root_;
+    while (n != nullptr) {
+      if (k == n->key) return true;
+      n = k < n->key ? n->left : n->right;
+    }
+    return false;
+  }
+
+  bool insert(key_type k) {
+    bool added = false;
+    root_ = insert_rec(root_, k, &added);
+    count_ += added ? 1 : 0;
+    return added;
+  }
+
+  bool remove(key_type k) {
+    bool removed = false;
+    root_ = remove_rec(root_, k, &removed);
+    count_ -= removed ? 1 : 0;
+    return removed;
+  }
+
+  // Batch insert via build + parallel union (PAM's multi_insert). Returns the
+  // number of keys newly added.
+  uint64_t insert_batch(key_type* input, uint64_t n, bool sorted = false) {
+    if (n == 0) return 0;
+    if (!sorted) par::parallel_sort(input, n);
+    std::vector<key_type> batch(input, input + n);
+    par::dedupe_sorted(batch);
+    std::atomic<uint64_t> dups{0};
+    Node* b = build_parallel(batch.data(), batch.size());
+    root_ = union_rec(root_, b, dups);
+    uint64_t added = batch.size() - dups.load();
+    count_ += added;
+    return added;
+  }
+
+  // Batch remove via build + parallel difference. Returns #removed.
+  uint64_t remove_batch(key_type* input, uint64_t n, bool sorted = false) {
+    if (n == 0 || root_ == nullptr) return 0;
+    if (!sorted) par::parallel_sort(input, n);
+    std::vector<key_type> batch(input, input + n);
+    par::dedupe_sorted(batch);
+    std::atomic<uint64_t> removed{0};
+    root_ = difference_rec(root_, batch.data(), batch.size(), removed);
+    count_ -= removed.load();
+    return removed.load();
+  }
+
+  // In-order traversal; f(key) -> void.
+  template <typename F>
+  void map(F&& f) const {
+    map_rec(root_, f);
+  }
+
+  // Applies f to keys in [start, end), in order.
+  template <typename F>
+  void map_range(F&& f, key_type start, key_type end) const {
+    map_range_rec(root_, start, end, f);
+  }
+
+  // Applies f to at most `length` keys >= start; returns how many.
+  template <typename F>
+  uint64_t map_range_length(F&& f, key_type start, uint64_t length) const {
+    uint64_t applied = 0;
+    map_length_rec(root_, start, length, applied, f);
+    return applied;
+  }
+
+  uint64_t sum() const {
+    uint64_t s = 0;
+    map([&](key_type k) { s += k; });
+    return s;
+  }
+
+  // Bytes used: nodes are 24B net but 32B with allocator rounding — report
+  // the PAM figure the paper uses.
+  uint64_t get_size() const { return count_ * 32 + sizeof(*this); }
+
+  // Test hook: checks BST order and the priority heap property.
+  bool check_invariants() const {
+    uint64_t seen = 0;
+    key_type prev = 0;
+    bool first = true;
+    bool ok = check_rec(root_, &seen, &prev, &first);
+    return ok && seen == count_;
+  }
+
+ private:
+  struct Node {
+    key_type key;
+    Node* left = nullptr;
+    Node* right = nullptr;
+  };
+
+  static uint64_t prio(key_type k) { return util::hash64(k * 2 + 1); }
+
+  static void destroy(Node* n, int par_depth = 4) {
+    if (n == nullptr) return;
+    if (par_depth > 0) {
+      par::fork2([&] { destroy(n->left, par_depth - 1); },
+                 [&] { destroy(n->right, par_depth - 1); });
+    } else {
+      destroy(n->left, 0);
+      destroy(n->right, 0);
+    }
+    delete n;
+  }
+
+  static Node* insert_rec(Node* t, key_type k, bool* added) {
+    if (t == nullptr) {
+      *added = true;
+      return new Node{k};
+    }
+    if (k == t->key) return t;
+    if (prio(k) > prio(t->key)) {
+      // k becomes the new subtree root. If the key was present below, split
+      // deletes its node and we re-create it here, so the set is unchanged.
+      Node* l = nullptr;
+      Node* r = nullptr;
+      bool absent = true;
+      split(t, k, &l, &r, &absent);
+      *added = absent;
+      return new Node{k, l, r};
+    }
+    if (k < t->key) {
+      t->left = insert_rec(t->left, k, added);
+    } else {
+      t->right = insert_rec(t->right, k, added);
+    }
+    return t;
+  }
+
+  static void split(Node* t, key_type k, Node** l, Node** r, bool* absent) {
+    if (t == nullptr) {
+      *l = *r = nullptr;
+      *absent = true;
+      return;
+    }
+    if (k == t->key) {
+      // Key present: drop this node, halves are its children.
+      *l = t->left;
+      *r = t->right;
+      *absent = false;
+      delete t;
+      return;
+    }
+    if (k < t->key) {
+      split(t->left, k, l, &t->left, absent);
+      *r = t;
+    } else {
+      split(t->right, k, &t->right, r, absent);
+      *l = t;
+    }
+  }
+
+  static Node* join2(Node* l, Node* r) {
+    if (l == nullptr) return r;
+    if (r == nullptr) return l;
+    if (prio(l->key) > prio(r->key)) {
+      l->right = join2(l->right, r);
+      return l;
+    }
+    r->left = join2(l, r->left);
+    return r;
+  }
+
+  static Node* remove_rec(Node* t, key_type k, bool* removed) {
+    if (t == nullptr) return nullptr;
+    if (k == t->key) {
+      Node* merged = join2(t->left, t->right);
+      delete t;
+      *removed = true;
+      return merged;
+    }
+    if (k < t->key) {
+      t->left = remove_rec(t->left, k, removed);
+    } else {
+      t->right = remove_rec(t->right, k, removed);
+    }
+    return t;
+  }
+
+  // Builds a treap from sorted unique keys: halves in parallel, then a join
+  // (the halves cover disjoint, ordered key ranges).
+  static Node* build_parallel(const key_type* keys, uint64_t n) {
+    if (n == 0) return nullptr;
+    if (n <= 2048) return build_serial(keys, n);
+    uint64_t mid = n / 2;
+    Node* l = nullptr;
+    Node* r = nullptr;
+    par::fork2([&] { l = build_parallel(keys, mid); },
+               [&] { r = build_parallel(keys + mid, n - mid); });
+    return join2(l, r);
+  }
+
+  // Cartesian-tree stack construction: O(n) from sorted input.
+  static Node* build_serial(const key_type* keys, uint64_t n) {
+    Node* root = nullptr;
+    std::vector<Node*> spine;  // right spine, decreasing priority
+    spine.reserve(64);
+    for (uint64_t i = 0; i < n; ++i) {
+      Node* node = new Node{keys[i]};
+      Node* last_popped = nullptr;
+      while (!spine.empty() && prio(spine.back()->key) < prio(node->key)) {
+        last_popped = spine.back();
+        spine.pop_back();
+      }
+      node->left = last_popped;
+      if (spine.empty()) {
+        root = node;
+      } else {
+        spine.back()->right = node;
+      }
+      spine.push_back(node);
+    }
+    return root;
+  }
+
+  // Parallel treap union; duplicate keys (present in both) are counted in
+  // `dups` and deduplicated. Forks at the top levels of the recursion (the
+  // expected treap depth is O(log n), so a fixed fork depth saturates the
+  // pool without size fields).
+  static Node* union_rec(Node* a, Node* b, std::atomic<uint64_t>& dups,
+                         int par_depth = 12) {
+    if (a == nullptr) return b;
+    if (b == nullptr) return a;
+    if (prio(a->key) < prio(b->key)) std::swap(a, b);
+    // a's root wins; split b around it.
+    Node* bl = nullptr;
+    Node* br = nullptr;
+    bool absent = true;
+    split(b, a->key, &bl, &br, &absent);
+    if (!absent) dups.fetch_add(1, std::memory_order_relaxed);
+    if (par_depth > 0) {
+      par::fork2(
+          [&] { a->left = union_rec(a->left, bl, dups, par_depth - 1); },
+          [&] { a->right = union_rec(a->right, br, dups, par_depth - 1); });
+    } else {
+      a->left = union_rec(a->left, bl, dups, 0);
+      a->right = union_rec(a->right, br, dups, 0);
+    }
+    return a;
+  }
+
+  // Removes from t all keys in sorted unique batch[0..n).
+  static Node* difference_rec(Node* t, const key_type* batch, uint64_t n,
+                              std::atomic<uint64_t>& removed) {
+    if (t == nullptr || n == 0) return t;
+    // Partition the batch around t->key.
+    const key_type* split_pos = std::lower_bound(batch, batch + n, t->key);
+    uint64_t nl = static_cast<uint64_t>(split_pos - batch);
+    bool hit = (nl < n && *split_pos == t->key);
+    const key_type* rb = split_pos + (hit ? 1 : 0);
+    uint64_t nr = n - nl - (hit ? 1 : 0);
+    if (n > 512) {
+      par::fork2(
+          [&] { t->left = difference_rec(t->left, batch, nl, removed); },
+          [&] { t->right = difference_rec(t->right, rb, nr, removed); });
+    } else {
+      t->left = difference_rec(t->left, batch, nl, removed);
+      t->right = difference_rec(t->right, rb, nr, removed);
+    }
+    if (hit) {
+      removed.fetch_add(1, std::memory_order_relaxed);
+      Node* merged = join2(t->left, t->right);
+      delete t;
+      return merged;
+    }
+    return t;
+  }
+
+  template <typename F>
+  static void map_rec(const Node* n, F& f) {
+    if (n == nullptr) return;
+    map_rec(n->left, f);
+    f(n->key);
+    map_rec(n->right, f);
+  }
+
+  template <typename F>
+  static void map_range_rec(const Node* n, key_type start, key_type end,
+                            F& f) {
+    if (n == nullptr) return;
+    if (n->key >= start) map_range_rec(n->left, start, end, f);
+    if (n->key >= start && n->key < end) f(n->key);
+    if (n->key < end) map_range_rec(n->right, start, end, f);
+  }
+
+  template <typename F>
+  static void map_length_rec(const Node* n, key_type start, uint64_t length,
+                             uint64_t& applied, F& f) {
+    if (n == nullptr || applied >= length) return;
+    if (n->key >= start) map_length_rec(n->left, start, length, applied, f);
+    if (applied >= length) return;
+    if (n->key >= start) {
+      f(n->key);
+      ++applied;
+    }
+    map_length_rec(n->right, start, length, applied, f);
+  }
+
+  bool check_rec(const Node* n, uint64_t* seen, key_type* prev,
+                 bool* first) const {
+    if (n == nullptr) return true;
+    if (!check_rec(n->left, seen, prev, first)) return false;
+    if (!*first && n->key <= *prev) return false;
+    *prev = n->key;
+    *first = false;
+    ++*seen;
+    if (n->left != nullptr && prio(n->left->key) > prio(n->key)) return false;
+    if (n->right != nullptr && prio(n->right->key) > prio(n->key)) {
+      return false;
+    }
+    return check_rec(n->right, seen, prev, first);
+  }
+
+  Node* root_ = nullptr;
+  uint64_t count_ = 0;
+};
+
+}  // namespace cpma::baselines

@@ -1,0 +1,53 @@
+// Delta encoding of sorted key sequences on top of the varint byte codes.
+// Helpers here operate on whole buffers; the CPMA's compressed leaf policy
+// does its own streaming passes but shares varint_* for the byte format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/varint.hpp"
+
+namespace cpma::codec {
+
+// Encodes sorted, strictly-increasing keys[0..n) as
+//   head (raw 8 bytes implicit to the caller) + varint deltas.
+// This helper encodes relative to `previous` (pass keys[0] and start at i=1
+// for the leaf layout). Appends to out.
+inline void delta_encode_append(const uint64_t* keys, size_t n,
+                                uint64_t previous, std::vector<uint8_t>& out) {
+  uint8_t tmp[kMaxVarintBytes];
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t delta = keys[i] - previous;
+    size_t len = varint_encode(delta, tmp);
+    out.insert(out.end(), tmp, tmp + len);
+    previous = keys[i];
+  }
+}
+
+// Total encoded size of the deltas of keys[0..n) relative to `previous`.
+inline size_t delta_encoded_size(const uint64_t* keys, size_t n,
+                                 uint64_t previous) {
+  size_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += varint_size(keys[i] - previous);
+    previous = keys[i];
+  }
+  return total;
+}
+
+// Decodes `bytes` of delta stream starting after value `previous`, appending
+// absolute keys to out. Stops after `bytes` bytes.
+inline void delta_decode_append(const uint8_t* src, size_t bytes,
+                                uint64_t previous,
+                                std::vector<uint64_t>& out) {
+  size_t pos = 0;
+  while (pos < bytes) {
+    uint64_t delta;
+    pos += varint_decode(src + pos, &delta);
+    previous += delta;
+    out.push_back(previous);
+  }
+}
+
+}  // namespace cpma::codec

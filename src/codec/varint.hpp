@@ -1,0 +1,65 @@
+// Byte codes with continue bits (varints), the compression scheme the CPMA
+// leaves and compressed PaC-tree blocks use for delta-encoded keys.
+//
+// Encoding: little-endian groups of 7 payload bits; the high bit of each byte
+// is the continue bit (1 = more bytes follow). A value v >= 1 never encodes
+// to a leading 0x00 byte, so a 0x00 byte unambiguously terminates a
+// compressed leaf (deltas in a *set* are always >= 1; heads are stored
+// uncompressed).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace cpma::codec {
+
+constexpr size_t kMaxVarintBytes = 10;  // 64 payload bits / 7 rounded up
+
+// Number of bytes encode(v) writes.
+constexpr size_t varint_size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+// Writes v at dst; returns the number of bytes written.
+inline size_t varint_encode(uint64_t v, uint8_t* dst) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    dst[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  dst[n++] = static_cast<uint8_t>(v);
+  return n;
+}
+
+// Reads a varint at src into *out; returns the number of bytes consumed.
+inline size_t varint_decode(const uint8_t* src, uint64_t* out) {
+  uint64_t v = src[0] & 0x7f;
+  if ((src[0] & 0x80) == 0) {  // 1-byte fast path: the common case for deltas
+    *out = v;
+    return 1;
+  }
+  size_t n = 1;
+  unsigned shift = 7;
+  while (true) {
+    uint8_t b = src[n++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return n;
+}
+
+// Advances over one encoded value without decoding it.
+inline size_t varint_skip(const uint8_t* src) {
+  size_t n = 1;
+  while ((src[n - 1] & 0x80) != 0) ++n;
+  return n;
+}
+
+}  // namespace cpma::codec

@@ -1,0 +1,55 @@
+// Static Compressed Sparse Row graph: the canonical baseline representation
+// (Section 6's exposition contrasts F-Graph's single array against CSR's
+// vertex + edge arrays). Used as the reference implementation for validating
+// the dynamic containers and algorithms, and as the fastest-possible static
+// scan bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/sort.hpp"
+
+namespace cpma::graph {
+
+class Csr {
+ public:
+  // Builds from sorted, deduped, symmetrized edge keys.
+  Csr(vertex_t num_vertices, const std::vector<uint64_t>& edges)
+      : n_(num_vertices), offsets_(static_cast<size_t>(num_vertices) + 1, 0),
+        dsts_(edges.size()) {
+    std::vector<uint64_t> counts(n_, 0);
+    for (uint64_t e : edges) counts[edge_src(e)]++;
+    uint64_t total = par::exclusive_scan_inplace(counts);
+    (void)total;
+    for (vertex_t v = 0; v < n_; ++v) offsets_[v] = counts[v];
+    offsets_[n_] = edges.size();
+    par::parallel_for(0, edges.size(), [&](uint64_t i) {
+      dsts_[i] = edge_dst(edges[i]);
+    });
+  }
+
+  void prepare() {}
+  vertex_t num_vertices() const { return n_; }
+  uint64_t num_edges() const { return dsts_.size(); }
+  uint64_t degree(vertex_t v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  template <typename F>
+  void map_neighbors(vertex_t v, F&& f) const {
+    for (uint64_t i = offsets_[v]; i < offsets_[v + 1]; ++i) f(dsts_[i]);
+  }
+
+  uint64_t get_size() const {
+    return offsets_.capacity() * 8 + dsts_.capacity() * 4 + sizeof(*this);
+  }
+
+ private:
+  vertex_t n_;
+  std::vector<uint64_t> offsets_;
+  std::vector<vertex_t> dsts_;
+};
+
+}  // namespace cpma::graph

@@ -1,0 +1,26 @@
+// Edge encoding for F-Graph: an unweighted directed edge (u, v) is one
+// 64-bit key with the source in the upper 32 bits and the destination in the
+// lower 32 bits, exactly the representation Section 6 describes. Sorted edge
+// keys are then sorted by (source, destination), and delta compression elides
+// the source in every edge except leaf heads and each vertex's first edge.
+#pragma once
+
+#include <cstdint>
+
+namespace cpma::graph {
+
+using vertex_t = uint32_t;
+
+constexpr uint64_t edge_key(vertex_t u, vertex_t v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+constexpr vertex_t edge_src(uint64_t key) {
+  return static_cast<vertex_t>(key >> 32);
+}
+
+constexpr vertex_t edge_dst(uint64_t key) {
+  return static_cast<vertex_t>(key & 0xffffffffu);
+}
+
+}  // namespace cpma::graph

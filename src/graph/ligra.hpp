@@ -1,0 +1,87 @@
+// Ligra-style processing layer: VertexSubset + edge_map/vertex_map over the
+// graph concept (prepare / num_vertices / degree / map_neighbors). All graph
+// containers (F-Graph, C-PaC, Aspen-like, CSR) run the same algorithm code
+// through this interface, mirroring the paper's setup where "all systems run
+// the same algorithms via the Ligra interface".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/worker_local.hpp"
+
+namespace cpma::graph {
+
+// A frontier: sparse list of vertex ids plus a dense membership bitmap.
+class VertexSubset {
+ public:
+  explicit VertexSubset(vertex_t n) : n_(n), dense_(n, 0) {}
+
+  static VertexSubset single(vertex_t n, vertex_t v) {
+    VertexSubset s(n);
+    s.add(v);
+    return s;
+  }
+
+  void add(vertex_t v) {
+    if (dense_[v] == 0) {
+      dense_[v] = 1;
+      sparse_.push_back(v);
+    }
+  }
+
+  bool contains(vertex_t v) const { return dense_[v] != 0; }
+  uint64_t size() const { return sparse_.size(); }
+  bool empty() const { return sparse_.empty(); }
+  const std::vector<vertex_t>& vertices() const { return sparse_; }
+  vertex_t universe() const { return n_; }
+
+  // Bulk construction from per-worker vectors (used by edge_map).
+  static VertexSubset from_vertices(vertex_t n, std::vector<vertex_t> vs) {
+    VertexSubset s(n);
+    for (vertex_t v : vs) {
+      if (s.dense_[v] == 0) {
+        s.dense_[v] = 1;
+        s.sparse_.push_back(v);
+      }
+    }
+    return s;
+  }
+
+ private:
+  vertex_t n_;
+  std::vector<uint8_t> dense_;
+  std::vector<vertex_t> sparse_;
+};
+
+// edge_map(G, frontier, update, cond):
+//   For every edge (u, v) with u in the frontier and cond(v) true, calls
+//   update(u, v); if update returns true, v joins the output frontier
+//   (first-win semantics are the caller's responsibility via CAS in update).
+template <typename G, typename Update, typename Cond>
+VertexSubset edge_map(const G& g, const VertexSubset& frontier,
+                      Update&& update, Cond&& cond) {
+  par::WorkerLocal<std::vector<vertex_t>> next_local;
+  const auto& vs = frontier.vertices();
+  par::parallel_for(0, vs.size(), [&](uint64_t i) {
+    vertex_t u = vs[i];
+    auto& out = next_local.local();
+    g.map_neighbors(u, [&](vertex_t v) {
+      if (cond(v) && update(u, v)) out.push_back(v);
+    });
+  }, 1);
+  return VertexSubset::from_vertices(
+      frontier.universe(), next_local.template combined<std::vector<vertex_t>>());
+}
+
+// vertex_map: applies f to every vertex of the frontier in parallel.
+template <typename F>
+void vertex_map(const VertexSubset& frontier, F&& f) {
+  const auto& vs = frontier.vertices();
+  par::parallel_for(0, vs.size(), [&](uint64_t i) { f(vs[i]); }, 64);
+}
+
+}  // namespace cpma::graph

@@ -1,0 +1,297 @@
+// Tree-based dynamic-graph baselines.
+//
+// TreeGraph<T>: one search tree of destinations per vertex — the design of
+// C-PaC's graph mode (vertex table + per-vertex compressed PaC-trees, used
+// in-place, single writer). Instantiated with CPacTree it is our "C-PaC"
+// comparator; with UPacTree, the uncompressed ablation.
+//
+// AspenGraph: the Aspen-like comparator — per-vertex edge sets stored as
+// immutable, reference-counted compressed chunks (Aspen's C-trees are
+// purely-functional trees whose nodes hold compressed edge chunks). Updates
+// path-copy: untouched chunks are shared between versions; touched chunks
+// are rebuilt. This reproduces the costs the paper attributes to Aspen
+// relative to C-PaC and F-Graph: extra allocation and refcount traffic on
+// update, extra indirection on scans, and more space.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/pactree.hpp"
+#include "codec/varint.hpp"
+#include "graph/edge.hpp"
+#include "parallel/reduce.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/seq_ops.hpp"
+#include "parallel/sort.hpp"
+
+namespace cpma::graph {
+
+namespace detail {
+// Groups sorted edge keys by source: boundaries[i] is the start of group i.
+inline std::vector<uint64_t> group_by_src(const std::vector<uint64_t>& edges) {
+  std::vector<uint64_t> starts;
+  for (uint64_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edge_src(edges[i]) != edge_src(edges[i - 1])) {
+      starts.push_back(i);
+    }
+  }
+  starts.push_back(edges.size());
+  return starts;
+}
+}  // namespace detail
+
+template <typename Tree>
+class TreeGraph {
+ public:
+  explicit TreeGraph(vertex_t num_vertices)
+      : n_(num_vertices), adj_(num_vertices) {}
+
+  TreeGraph(vertex_t num_vertices, std::vector<uint64_t> edges)
+      : TreeGraph(num_vertices) {
+    insert_edges(std::move(edges));
+  }
+
+  void prepare() {}
+  vertex_t num_vertices() const { return n_; }
+  uint64_t num_edges() const { return m_; }
+  uint64_t degree(vertex_t v) const { return adj_[v].size(); }
+
+  uint64_t insert_edges(std::vector<uint64_t> edges) {
+    par::parallel_sort(edges);
+    par::dedupe_sorted(edges);
+    auto starts = detail::group_by_src(edges);
+    std::atomic<uint64_t> added{0};
+    // Each source's tree is independent: perfect batch parallelism.
+    par::parallel_for(0, starts.size() - 1, [&](uint64_t g) {
+      uint64_t lo = starts[g], hi = starts[g + 1];
+      vertex_t src = edge_src(edges[lo]);
+      std::vector<uint64_t> dsts(hi - lo);
+      for (uint64_t i = lo; i < hi; ++i) dsts[i - lo] = edge_dst(edges[i]);
+      added.fetch_add(adj_[src].insert_batch(dsts.data(), dsts.size(), true),
+                      std::memory_order_relaxed);
+    }, 1);
+    m_ += added.load();
+    return added.load();
+  }
+
+  uint64_t remove_edges(std::vector<uint64_t> edges) {
+    par::parallel_sort(edges);
+    par::dedupe_sorted(edges);
+    auto starts = detail::group_by_src(edges);
+    std::atomic<uint64_t> removed{0};
+    par::parallel_for(0, starts.size() - 1, [&](uint64_t g) {
+      uint64_t lo = starts[g], hi = starts[g + 1];
+      vertex_t src = edge_src(edges[lo]);
+      std::vector<uint64_t> dsts(hi - lo);
+      for (uint64_t i = lo; i < hi; ++i) dsts[i - lo] = edge_dst(edges[i]);
+      removed.fetch_add(
+          adj_[src].remove_batch(dsts.data(), dsts.size(), true),
+          std::memory_order_relaxed);
+    }, 1);
+    m_ -= removed.load();
+    return removed.load();
+  }
+
+  bool has_edge(vertex_t u, vertex_t v) const { return adj_[u].has(v); }
+
+  template <typename F>
+  void map_neighbors(vertex_t v, F&& f) const {
+    adj_[v].map([&](uint64_t dst) { f(static_cast<vertex_t>(dst)); });
+  }
+
+  uint64_t get_size() const {
+    return par::parallel_sum<uint64_t>(
+               0, n_, [&](uint64_t v) { return adj_[v].get_size(); }, 64) +
+           adj_.capacity() * sizeof(Tree) + sizeof(*this);
+  }
+
+ private:
+  vertex_t n_;
+  std::vector<Tree> adj_;
+  uint64_t m_ = 0;
+};
+
+using CPacGraph = TreeGraph<baselines::CPacTree>;
+using UPacGraph = TreeGraph<baselines::UPacTree>;
+
+// ---------------------------------------------------------------------------
+// Aspen-like functional graph.
+// ---------------------------------------------------------------------------
+
+class AspenGraph {
+ public:
+  // Target chunk size (Aspen's expected C-tree chunk is O(b) with b ~ 2^7).
+  static constexpr uint64_t kChunkTarget = 128;
+
+  explicit AspenGraph(vertex_t num_vertices)
+      : n_(num_vertices), adj_(num_vertices) {}
+
+  AspenGraph(vertex_t num_vertices, std::vector<uint64_t> edges)
+      : AspenGraph(num_vertices) {
+    insert_edges(std::move(edges));
+  }
+
+  void prepare() {}
+  vertex_t num_vertices() const { return n_; }
+  uint64_t num_edges() const { return m_; }
+  uint64_t degree(vertex_t v) const {
+    uint64_t d = 0;
+    for (const auto& c : adj_[v]) d += c->count;
+    return d;
+  }
+
+  uint64_t insert_edges(std::vector<uint64_t> edges) {
+    par::parallel_sort(edges);
+    par::dedupe_sorted(edges);
+    auto starts = detail::group_by_src(edges);
+    std::atomic<uint64_t> added{0};
+    par::parallel_for(0, starts.size() - 1, [&](uint64_t g) {
+      uint64_t lo = starts[g], hi = starts[g + 1];
+      vertex_t src = edge_src(edges[lo]);
+      std::vector<vertex_t> dsts(hi - lo);
+      for (uint64_t i = lo; i < hi; ++i) {
+        dsts[i - lo] = edge_dst(edges[i]);
+      }
+      added.fetch_add(merge_vertex(src, dsts), std::memory_order_relaxed);
+    }, 1);
+    m_ += added.load();
+    return added.load();
+  }
+
+  bool has_edge(vertex_t u, vertex_t v) const {
+    for (const auto& c : adj_[u]) {
+      if (v < c->head) return false;
+      bool found = false;
+      bool past = false;
+      chunk_scan(*c, [&](vertex_t d) {
+        if (d == v) found = true;
+        if (d >= v) past = true;
+        return d < v;
+      });
+      if (found) return true;
+      if (past) return false;
+    }
+    return false;
+  }
+
+  template <typename F>
+  void map_neighbors(vertex_t v, F&& f) const {
+    for (const auto& c : adj_[v]) {
+      chunk_scan(*c, [&](vertex_t d) {
+        f(d);
+        return true;
+      });
+    }
+  }
+
+  uint64_t get_size() const {
+    return par::parallel_sum<uint64_t>(
+               0, n_,
+               [&](uint64_t v) {
+                 uint64_t b = adj_[v].capacity() * sizeof(ChunkPtr);
+                 for (const auto& c : adj_[v]) {
+                   // chunk payload + control block of the shared_ptr (the
+                   // functional representation's real overhead)
+                   b += sizeof(Chunk) + c->bytes.capacity() + 32;
+                 }
+                 return b;
+               },
+               64) +
+           adj_.capacity() * sizeof(std::vector<ChunkPtr>) + sizeof(*this);
+  }
+
+ private:
+  struct Chunk {
+    vertex_t head = 0;
+    uint32_t count = 0;
+    std::vector<uint8_t> bytes;  // delta-encoded dsts after head
+  };
+  using ChunkPtr = std::shared_ptr<const Chunk>;
+
+  template <typename F>
+  static void chunk_scan(const Chunk& c, F&& f) {
+    vertex_t cur = c.head;
+    if (!f(cur)) return;
+    size_t pos = 0;
+    while (pos < c.bytes.size()) {
+      uint64_t delta;
+      pos += codec::varint_decode(c.bytes.data() + pos, &delta);
+      cur += static_cast<vertex_t>(delta);
+      if (!f(cur)) return;
+    }
+  }
+
+  static ChunkPtr chunk_make(const vertex_t* dsts, uint64_t n) {
+    auto c = std::make_shared<Chunk>();
+    c->head = dsts[0];
+    c->count = static_cast<uint32_t>(n);
+    uint8_t tmp[codec::kMaxVarintBytes];
+    c->bytes.reserve(n);
+    for (uint64_t i = 1; i < n; ++i) {
+      size_t len = codec::varint_encode(dsts[i] - dsts[i - 1], tmp);
+      c->bytes.insert(c->bytes.end(), tmp, tmp + len);
+    }
+    c->bytes.shrink_to_fit();
+    return c;
+  }
+
+  static void append_chunks(std::vector<ChunkPtr>& out, const vertex_t* dsts,
+                            uint64_t n) {
+    for (uint64_t off = 0; off < n; off += kChunkTarget) {
+      uint64_t len = std::min<uint64_t>(kChunkTarget, n - off);
+      out.push_back(chunk_make(dsts + off, len));
+    }
+  }
+
+  // Path-copying merge: rebuilds only the chunks whose key range intersects
+  // the new destinations; all other chunks are shared with the old version.
+  uint64_t merge_vertex(vertex_t src, const std::vector<vertex_t>& dsts) {
+    const std::vector<ChunkPtr>& old = adj_[src];
+    std::vector<ChunkPtr> next;
+    next.reserve(old.size() + dsts.size() / kChunkTarget + 1);
+    uint64_t added = 0;
+    size_t di = 0;
+    for (size_t ci = 0; ci < old.size(); ++ci) {
+      // Destinations belonging to this chunk: all < next chunk's head.
+      vertex_t upper_valid = (ci + 1 < old.size()) ? 1 : 0;
+      vertex_t upper = upper_valid ? old[ci + 1]->head : 0;
+      size_t dj = di;
+      while (dj < dsts.size() && (!upper_valid || dsts[dj] < upper)) ++dj;
+      if (dj == di) {
+        next.push_back(old[ci]);  // untouched: structural sharing
+        continue;
+      }
+      std::vector<vertex_t> decoded;
+      decoded.reserve(old[ci]->count + (dj - di));
+      chunk_scan(*old[ci], [&](vertex_t d) {
+        decoded.push_back(d);
+        return true;
+      });
+      std::vector<vertex_t> merged(decoded.size() + (dj - di));
+      std::merge(decoded.begin(), decoded.end(), dsts.begin() + di,
+                 dsts.begin() + dj, merged.begin());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      added += merged.size() - decoded.size();
+      append_chunks(next, merged.data(), merged.size());
+      di = dj;
+    }
+    if (di < dsts.size()) {
+      // Destinations past every existing chunk.
+      std::vector<vertex_t> rest(dsts.begin() + di, dsts.end());
+      added += rest.size();
+      append_chunks(next, rest.data(), rest.size());
+    }
+    adj_[src] = std::move(next);
+    return added;
+  }
+
+  vertex_t n_;
+  std::vector<std::vector<ChunkPtr>> adj_;
+  uint64_t m_ = 0;
+};
+
+}  // namespace cpma::graph

@@ -1,0 +1,50 @@
+// Load-balanced parallel merge of two sorted ranges (the primitive the
+// batch-merge phase uses when many batch elements land in one region; the
+// paper cites Akl & Santoro's optimal parallel merging). The splitting rule
+// is the standard one: bisect the larger input, binary-search the split key
+// in the smaller input, and recurse on the two halves in parallel — span
+// O(log^2 (n+m)).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "parallel/scheduler.hpp"
+
+namespace cpma::par {
+
+namespace detail {
+template <typename T, typename Out>
+void merge_rec(const T* a, uint64_t na, const T* b, uint64_t nb, Out out,
+               uint64_t grain) {
+  if (na + nb <= grain) {
+    std::merge(a, a + na, b, b + nb, out);
+    return;
+  }
+  if (na < nb) {
+    merge_rec(b, nb, a, na, out, grain);
+    return;
+  }
+  uint64_t ma = na / 2;
+  const T* bsplit = std::lower_bound(b, b + nb, a[ma]);
+  uint64_t mb = static_cast<uint64_t>(bsplit - b);
+  fork2([&] { merge_rec(a, ma, b, mb, out, grain); },
+        [&] {
+          merge_rec(a + ma, na - ma, b + mb, nb - mb, out + (ma + mb), grain);
+        });
+}
+}  // namespace detail
+
+// Merges sorted [a, a+na) and [b, b+nb) into out (which must not alias the
+// inputs). Duplicates are kept (two-input stability: a's elements first).
+template <typename T, typename Out>
+void parallel_merge(const T* a, uint64_t na, const T* b, uint64_t nb, Out out,
+                    uint64_t grain = 8192) {
+  if (Scheduler::instance().num_workers() <= 1 || na + nb <= grain) {
+    std::merge(a, a + na, b, b + nb, out);
+    return;
+  }
+  detail::merge_rec(a, na, b, nb, out, grain);
+}
+
+}  // namespace cpma::par

@@ -1,0 +1,41 @@
+// Parallel reduction over an index range via recursive splitting.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "parallel/scheduler.hpp"
+
+namespace cpma::par {
+
+// Returns combine-fold of map(i) for i in [start, end); `identity` is the
+// result for an empty range. `combine` must be associative.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(uint64_t start, uint64_t end, T identity, const Map& map,
+                  const Combine& combine, uint64_t grain = 0) {
+  if (start >= end) return identity;
+  uint64_t n = end - start;
+  if (grain == 0) grain = default_grain(n);
+  if (n <= grain || Scheduler::instance().num_workers() <= 1) {
+    T acc = identity;
+    for (uint64_t i = start; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  uint64_t mid = start + n / 2;
+  T left{}, right{};
+  fork2([&] { left = parallel_reduce(start, mid, identity, map, combine,
+                                     grain); },
+        [&] { right = parallel_reduce(mid, end, identity, map, combine,
+                                      grain); });
+  return combine(left, right);
+}
+
+// Convenience: parallel sum of map(i).
+template <typename T, typename Map>
+T parallel_sum(uint64_t start, uint64_t end, const Map& map,
+               uint64_t grain = 0) {
+  return parallel_reduce<T>(start, end, T{}, map,
+                            [](T a, T b) { return a + b; }, grain);
+}
+
+}  // namespace cpma::par

@@ -1,0 +1,61 @@
+// Parallel prefix sums (exclusive scan), the classic two-pass blocked
+// algorithm: per-block sums in parallel, serial scan of the (short) block-sum
+// vector, then a parallel pass writing offsets.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+
+namespace cpma::par {
+
+// Replaces values[i] with sum of values[0..i) and returns the total.
+template <typename T>
+T exclusive_scan_inplace(T* values, uint64_t n) {
+  if (n == 0) return T{};
+  const uint64_t block = 4096;
+  const uint64_t num_blocks = (n + block - 1) / block;
+  if (num_blocks <= 2 || Scheduler::instance().num_workers() <= 1) {
+    T acc{};
+    for (uint64_t i = 0; i < n; ++i) {
+      T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+    return acc;
+  }
+  std::vector<T> block_sums(num_blocks);
+  parallel_for(0, num_blocks, [&](uint64_t b) {
+    uint64_t lo = b * block, hi = std::min(n, lo + block);
+    T acc{};
+    for (uint64_t i = lo; i < hi; ++i) acc += values[i];
+    block_sums[b] = acc;
+  }, 1);
+  T total{};
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    T v = block_sums[b];
+    block_sums[b] = total;
+    total += v;
+  }
+  parallel_for(0, num_blocks, [&](uint64_t b) {
+    uint64_t lo = b * block, hi = std::min(n, lo + block);
+    T acc = block_sums[b];
+    for (uint64_t i = lo; i < hi; ++i) {
+      T v = values[i];
+      values[i] = acc;
+      acc += v;
+    }
+  }, 1);
+  return total;
+}
+
+// Vector-of-any-allocator convenience wrapper.
+template <typename Vec>
+typename Vec::value_type exclusive_scan_inplace(Vec& values) {
+  return exclusive_scan_inplace(values.data(),
+                                static_cast<uint64_t>(values.size()));
+}
+
+}  // namespace cpma::par

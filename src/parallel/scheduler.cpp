@@ -1,0 +1,195 @@
+#include "parallel/scheduler.hpp"
+
+#include <cstdlib>
+#include <random>
+
+#include "util/env.hpp"
+
+namespace cpma::par {
+
+namespace {
+thread_local int tl_worker_id = -1;
+
+std::mutex g_instance_mutex;
+std::unique_ptr<Scheduler> g_instance;
+std::atomic<Scheduler*> g_instance_fast{nullptr};
+
+unsigned default_worker_count() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return static_cast<unsigned>(
+      cpma::util::env_u64("CPMA_NUM_THREADS", hw));
+}
+}  // namespace
+
+Scheduler& Scheduler::instance() {
+  Scheduler* fast = g_instance_fast.load(std::memory_order_acquire);
+  if (fast != nullptr) return *fast;
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  if (!g_instance) {
+    g_instance = std::make_unique<Scheduler>(default_worker_count());
+    g_instance_fast.store(g_instance.get(), std::memory_order_release);
+  }
+  return *g_instance;
+}
+
+// Precondition: no parallel region is active (callers are the scaling benches
+// between measurement phases).
+void Scheduler::set_num_workers(unsigned n) {
+  if (n == 0) n = 1;
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  g_instance_fast.store(nullptr, std::memory_order_release);
+  g_instance.reset();  // joins the old pool
+  g_instance = std::make_unique<Scheduler>(n);
+  g_instance_fast.store(g_instance.get(), std::memory_order_release);
+}
+
+int Scheduler::current_worker_id() { return tl_worker_id; }
+
+Scheduler::Scheduler(unsigned num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers) {
+  deques_.reserve(num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  threads_.reserve(num_workers_ - 1);
+  for (unsigned i = 1; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void Scheduler::push_local(JobBase* job) {
+  int id = tl_worker_id;
+  assert(id >= 0);
+  WorkerDeque& d = *deques_[id];
+  {
+    std::lock_guard<std::mutex> lock(d.m);
+    d.q.push_back(job);
+  }
+  int64_t prev = d.size.fetch_add(1, std::memory_order_release);
+  // Wake a sleeper only on the empty->nonempty transition: workers waking up
+  // fan out further wakeups via their own pushes, and the 1ms timed wait
+  // bounds the cost of a missed signal. Notifying on every push would put a
+  // futex syscall on the fork fast path.
+  if (prev == 0 && sleepers_.load(std::memory_order_relaxed) > 0) {
+    notify_work();
+  }
+}
+
+bool Scheduler::try_pop_local(JobBase* job) {
+  int id = tl_worker_id;
+  assert(id >= 0);
+  WorkerDeque& d = *deques_[id];
+  std::lock_guard<std::mutex> lock(d.m);
+  auto& q = d.q;
+  if (q.empty()) return false;
+  // LIFO discipline: by the time a frame joins, every job pushed by its first
+  // branch has been consumed, so the bottom is either `job` or `job` was
+  // stolen and the deque holds only outer-frame jobs.
+  if (q.back() != job) return false;
+  q.pop_back();
+  d.size.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+JobBase* Scheduler::steal_from_others(unsigned self) {
+  // Start from a per-thread pseudo-random victim so thieves spread out.
+  thread_local uint32_t rng_state = 0x9e3779b9u ^ (self * 0x85ebca6bu + 1);
+  rng_state ^= rng_state << 13;
+  rng_state ^= rng_state >> 17;
+  rng_state ^= rng_state << 5;
+  unsigned start = rng_state % num_workers_;
+  for (unsigned k = 0; k < num_workers_; ++k) {
+    unsigned v = (start + k) % num_workers_;
+    if (v == self) continue;
+    WorkerDeque& d = *deques_[v];
+    // Lock-free probe: only touch the mutex when there is plausibly work.
+    if (d.size.load(std::memory_order_acquire) <= 0) continue;
+    std::lock_guard<std::mutex> lock(d.m);
+    auto& q = d.q;
+    if (!q.empty()) {
+      JobBase* job = q.front();
+      q.pop_front();
+      d.size.fetch_sub(1, std::memory_order_relaxed);
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::wait_for(JobBase* job) {
+  unsigned self = static_cast<unsigned>(tl_worker_id);
+  int spins = 0;
+  while (!job->done()) {
+    if (JobBase* other = steal_from_others(self)) {
+      other->execute();
+      spins = 0;
+    } else {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+}
+
+void Scheduler::notify_work() {
+  // Notifying without the mutex is allowed; sleepers use a timed wait, so a
+  // lost wakeup costs at most 1ms.
+  sleep_cv_.notify_one();
+}
+
+void Scheduler::worker_main(unsigned id) {
+  tl_worker_id = static_cast<int>(id);
+  int failed_rounds = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    JobBase* job = steal_from_others(id);
+    if (job != nullptr) {
+      job->execute();
+      failed_rounds = 0;
+      continue;
+    }
+    if (++failed_rounds < 16) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Nothing to do: sleep with a timeout so a lost wakeup costs at most 1ms.
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_relaxed);
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    failed_rounds = 0;
+  }
+  tl_worker_id = -1;
+}
+
+Scheduler::MasterGuard::MasterGuard(Scheduler& s) : s_(s) {
+  if (tl_worker_id >= 0) {
+    worker_ = true;  // already inside the pool; nothing to register
+    return;
+  }
+  bool expected = false;
+  if (s_.master_busy_.compare_exchange_strong(expected, true)) {
+    tl_worker_id = 0;
+    registered_ = true;
+    worker_ = true;
+  }
+}
+
+Scheduler::MasterGuard::~MasterGuard() {
+  if (registered_) {
+    tl_worker_id = -1;
+    s_.master_busy_.store(false, std::memory_order_release);
+  }
+}
+
+}  // namespace cpma::par

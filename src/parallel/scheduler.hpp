@@ -1,0 +1,208 @@
+// Fork-join work-stealing scheduler ("parlay-lite").
+//
+// The paper parallelizes the PMA/CPMA with ParlayLib's fork-join model; this
+// is our from-scratch substrate with the same model: binary forking
+// (`fork2`), recursive-splitting `parallel_for`, and work stealing so that a
+// worker blocked at a join helps execute other ready tasks.
+//
+// Design notes:
+//  * Jobs are stack-allocated closures; the deque stores raw pointers. A job
+//    cannot outlive its fork2 frame because fork2 does not return until both
+//    branches complete.
+//  * Each worker owns a small mutex-protected deque: the owner pushes/pops at
+//    the bottom (LIFO), thieves steal from the top (FIFO). Steals are rare
+//    under recursive splitting, so a mutex per deque is not a bottleneck at
+//    the grain sizes we use; it buys simple, correct growth semantics.
+//  * The thread that calls a top-level parallel operation registers itself as
+//    worker 0 ("master") for the duration; N-1 additional threads are
+//    spawned. With num_workers()==1 everything degrades to serial calls,
+//    which the strong-scaling benches rely on.
+//  * At a join we only steal from *other* workers: jobs below the joined job
+//    in our own deque belong to enclosing frames whose joins have not been
+//    reached yet, and running them here would break the LIFO pop discipline.
+//  * Exceptions escaping a forked closure terminate (HPC convention); none of
+//    the library's parallel bodies throw.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cpma::par {
+
+class JobBase {
+ public:
+  virtual ~JobBase() = default;
+  virtual void execute() = 0;
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ protected:
+  void mark_done() { done_.store(true, std::memory_order_release); }
+  std::atomic<bool> done_{false};
+};
+
+template <typename F>
+class ClosureJob final : public JobBase {
+ public:
+  explicit ClosureJob(F& f) : f_(f) {}
+  void execute() override {
+    f_();
+    mark_done();
+  }
+  // Runs the closure without publishing `done`; used when the owner pops its
+  // own un-stolen job and no other thread can be waiting on it.
+  void run_inline() { f_(); }
+
+ private:
+  F& f_;
+};
+
+class Scheduler {
+ public:
+  // Returns the process-wide scheduler, creating it on first use with
+  // CPMA_NUM_THREADS (default: hardware concurrency) workers.
+  static Scheduler& instance();
+
+  // Tears down the current pool and rebuilds it with `n` workers (including
+  // the master slot). Must not be called from inside a parallel region.
+  static void set_num_workers(unsigned n);
+
+  explicit Scheduler(unsigned num_workers);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  unsigned num_workers() const { return num_workers_; }
+
+  // Thread-local worker id; -1 on threads not part of the pool.
+  static int current_worker_id();
+
+  void push_local(JobBase* job);
+  // Pops the bottom of the local deque if it equals `job` (i.e. the job was
+  // not stolen). Returns true when the caller should run it inline.
+  bool try_pop_local(JobBase* job);
+  // Steal-while-waiting join: executes other workers' jobs until `job`
+  // completes.
+  void wait_for(JobBase* job);
+
+  // RAII registration of an external thread as worker 0 for the duration of
+  // a top-level parallel call. If another external thread already holds the
+  // master slot, is_worker() is false and the caller runs serially.
+  class MasterGuard {
+   public:
+    explicit MasterGuard(Scheduler& s);
+    ~MasterGuard();
+    bool is_worker() const { return worker_; }
+
+   private:
+    Scheduler& s_;
+    bool registered_ = false;
+    bool worker_ = false;
+  };
+
+ private:
+  struct alignas(64) WorkerDeque {
+    std::mutex m;
+    std::deque<JobBase*> q;
+    // Mirror of q.size(), readable without the lock: thieves probe it before
+    // locking, so an idle pool costs atomic loads instead of mutex traffic.
+    std::atomic<int64_t> size{0};
+  };
+
+  void worker_main(unsigned id);
+  JobBase* steal_from_others(unsigned self);
+  void notify_work();
+
+  unsigned num_workers_;
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> master_busy_{false};
+  std::atomic<int> sleepers_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+};
+
+// ---------------------------------------------------------------------------
+// fork2: run fa and fb, potentially in parallel; returns when both are done.
+// ---------------------------------------------------------------------------
+template <typename Fa, typename Fb>
+void fork2(Fa&& fa, Fb&& fb) {
+  Scheduler& s = Scheduler::instance();
+  if (s.num_workers() <= 1) {
+    fa();
+    fb();
+    return;
+  }
+  const bool already_worker = Scheduler::current_worker_id() >= 0;
+  if (!already_worker) {
+    Scheduler::MasterGuard guard(s);
+    if (!guard.is_worker()) {
+      fa();
+      fb();
+      return;
+    }
+    // Re-enter now that this thread holds the master slot.
+    fork2(std::forward<Fa>(fa), std::forward<Fb>(fb));
+    return;
+  }
+  ClosureJob<std::remove_reference_t<Fb>> job(fb);
+  s.push_local(&job);
+  fa();
+  if (s.try_pop_local(&job)) {
+    job.run_inline();
+  } else {
+    s.wait_for(&job);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for over [start, end): recursive splitting down to `grain`
+// iterations per task. grain==0 picks a default based on worker count.
+// ---------------------------------------------------------------------------
+namespace detail {
+template <typename F>
+void parallel_for_rec(uint64_t start, uint64_t end, uint64_t grain,
+                      const F& f) {
+  uint64_t n = end - start;
+  if (n <= grain) {
+    for (uint64_t i = start; i < end; ++i) f(i);
+    return;
+  }
+  uint64_t mid = start + n / 2;
+  fork2([&] { parallel_for_rec(start, mid, grain, f); },
+        [&] { parallel_for_rec(mid, end, grain, f); });
+}
+}  // namespace detail
+
+inline uint64_t default_grain(uint64_t n) {
+  unsigned p = Scheduler::instance().num_workers();
+  uint64_t g = n / (8 * static_cast<uint64_t>(p) + 1);
+  // Floor of 512: iterations that are individually heavy should pass an
+  // explicit grain; for cheap per-index bodies, forking below ~512
+  // iterations costs more than it buys.
+  if (g < 512) g = 512;
+  if (g > 8192) g = 8192;
+  return g;
+}
+
+template <typename F>
+void parallel_for(uint64_t start, uint64_t end, F&& f, uint64_t grain = 0) {
+  if (start >= end) return;
+  uint64_t n = end - start;
+  if (grain == 0) grain = default_grain(n);
+  if (Scheduler::instance().num_workers() <= 1 || n <= grain) {
+    for (uint64_t i = start; i < end; ++i) f(i);
+    return;
+  }
+  detail::parallel_for_rec(start, end, grain, f);
+}
+
+}  // namespace cpma::par

@@ -1,0 +1,154 @@
+// Parallel operations on sorted sequences: deduplication, merge-with-dedupe,
+// and set difference. Used by the PMA's full-rebuild batch paths and by the
+// tree baselines' bulk updates. Templated over the vector type so callers
+// can use util::uvector (default-init) scratch without conversions.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/merge.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/uninitialized.hpp"
+
+namespace cpma::par {
+
+// Removes duplicates from sorted `v` (keeps first of each run). Parallel
+// flag/prefix/scatter when large.
+template <typename Vec>
+void dedupe_sorted(Vec& v) {
+  using T = typename Vec::value_type;
+  const uint64_t n = v.size();
+  if (n <= 1) return;
+  if (n < (1 << 16) || Scheduler::instance().num_workers() <= 1) {
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return;
+  }
+  util::uvector<uint64_t> keep(n);
+  parallel_for(0, n, [&](uint64_t i) {
+    keep[i] = (i == 0 || v[i] != v[i - 1]) ? 1 : 0;
+  });
+  uint64_t total = exclusive_scan_inplace(keep.data(), n);
+  util::uvector<T> out(total);
+  parallel_for(0, n, [&](uint64_t i) {
+    bool is_first = (i == 0 || v[i] != v[i - 1]);
+    if (is_first) out[keep[i]] = v[i];
+  });
+  if constexpr (std::is_same_v<Vec, util::uvector<T>>) {
+    v = std::move(out);
+  } else {
+    v.assign(out.begin(), out.end());
+  }
+}
+
+// Merges two sorted unique sequences into one sorted unique sequence.
+template <typename T>
+std::vector<T> merge_dedupe(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> merged(a.size() + b.size());
+  parallel_merge(a.data(), a.size(), b.data(), b.size(), merged.data());
+  dedupe_sorted(merged);
+  return merged;
+}
+
+// Fused merge + dedupe: `a` sorted unique, `b` sorted (duplicates allowed);
+// `out` receives the sorted unique union. One chunked merge pass plus one
+// compaction pass — two fewer passes than merge-then-dedupe, which matters
+// on the PMA's full-rebuild path.
+template <typename T>
+void merge_unique(const T* a, uint64_t na, const T* b, uint64_t nb,
+                  util::uvector<T>& out) {
+  if (na == 0) {
+    out.assign(b, b + nb);
+    dedupe_sorted(out);
+    return;
+  }
+  if (nb == 0) {
+    out.assign(a, a + na);
+    return;
+  }
+  const uint64_t chunk = 1 << 15;
+  const uint64_t num_chunks = (na + chunk - 1) / chunk;
+  std::vector<util::uvector<T>> parts(num_chunks);
+  parallel_for(0, num_chunks, [&](uint64_t c) {
+    uint64_t alo = c * chunk, ahi = std::min(na, alo + chunk);
+    // b-range: values below the NEXT chunk's first a value; chunk 0 also
+    // takes b values below a[0], the last chunk takes the b tail.
+    uint64_t blo = (c == 0)
+                       ? 0
+                       : static_cast<uint64_t>(
+                             std::lower_bound(b, b + nb, a[alo]) - b);
+    uint64_t bhi = (c + 1 == num_chunks)
+                       ? nb
+                       : static_cast<uint64_t>(
+                             std::lower_bound(b, b + nb, a[ahi]) - b);
+    auto& part = parts[c];
+    part.reserve((ahi - alo) + (bhi - blo));
+    uint64_t i = alo, j = blo;
+    while (i < ahi && j < bhi) {
+      if (a[i] < b[j]) {
+        part.push_back(a[i++]);
+      } else if (b[j] < a[i]) {
+        T v = b[j++];
+        part.push_back(v);
+        while (j < bhi && b[j] == v) ++j;  // b-internal duplicates
+      } else {
+        part.push_back(a[i++]);
+        T v = b[j++];
+        while (j < bhi && b[j] == v) ++j;
+      }
+    }
+    while (i < ahi) part.push_back(a[i++]);
+    while (j < bhi) {
+      T v = b[j++];
+      part.push_back(v);
+      while (j < bhi && b[j] == v) ++j;
+    }
+  }, 1);
+  util::uvector<uint64_t> offsets(num_chunks);
+  for (uint64_t c = 0; c < num_chunks; ++c) offsets[c] = parts[c].size();
+  uint64_t total = exclusive_scan_inplace(offsets.data(), num_chunks);
+  out.resize(total);
+  parallel_for(0, num_chunks, [&](uint64_t c) {
+    std::copy(parts[c].begin(), parts[c].end(), out.begin() + offsets[c]);
+  }, 1);
+}
+
+// Returns sorted unique `a` minus elements of sorted unique `b` (all
+// occurrences matching `b` are dropped). Parallel by chunking `a` and
+// walking the matching window of `b` per chunk.
+template <typename VecA, typename VecB>
+VecA sorted_difference(const VecA& a, const VecB& b) {
+  using T = typename VecA::value_type;
+  const uint64_t n = a.size();
+  if (n == 0) return {};
+  VecA out;
+  if (b.empty()) {
+    out.assign(a.begin(), a.end());
+    return out;
+  }
+  const uint64_t chunk = 1 << 14;
+  const uint64_t num_chunks = (n + chunk - 1) / chunk;
+  std::vector<util::uvector<T>> parts(num_chunks);
+  parallel_for(0, num_chunks, [&](uint64_t c) {
+    uint64_t lo = c * chunk, hi = std::min(n, lo + chunk);
+    auto bi = std::lower_bound(b.begin(), b.end(), a[lo]);
+    auto& part = parts[c];
+    part.reserve(hi - lo);
+    for (uint64_t i = lo; i < hi; ++i) {
+      while (bi != b.end() && *bi < a[i]) ++bi;
+      if (bi == b.end() || *bi != a[i]) part.push_back(a[i]);
+    }
+  }, 1);
+  util::uvector<uint64_t> offsets(num_chunks);
+  for (uint64_t c = 0; c < num_chunks; ++c) offsets[c] = parts[c].size();
+  uint64_t total = exclusive_scan_inplace(offsets.data(), num_chunks);
+  out.resize(total);
+  parallel_for(0, num_chunks, [&](uint64_t c) {
+    std::copy(parts[c].begin(), parts[c].end(), out.begin() + offsets[c]);
+  }, 1);
+  return out;
+}
+
+}  // namespace cpma::par

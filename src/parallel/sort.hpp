@@ -1,0 +1,55 @@
+// Parallel merge sort built on fork2 + parallel_merge. Used to sort unsorted
+// update batches (O(k log k) work, as the paper assumes) before the
+// batch-merge phase.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/merge.hpp"
+#include "parallel/scheduler.hpp"
+#include "util/uninitialized.hpp"
+
+namespace cpma::par {
+
+namespace detail {
+// Sorts [data, data+n); buf is scratch of the same size. `data_in_place`
+// selects which array receives the sorted output at this level.
+template <typename T>
+void sort_rec(T* data, T* buf, uint64_t n, bool result_in_data,
+              uint64_t grain) {
+  if (n <= grain) {
+    std::sort(data, data + n);
+    if (!result_in_data) std::copy(data, data + n, buf);
+    return;
+  }
+  uint64_t mid = n / 2;
+  fork2([&] { sort_rec(data, buf, mid, !result_in_data, grain); },
+        [&] { sort_rec(data + mid, buf + mid, n - mid, !result_in_data,
+                       grain); });
+  if (result_in_data) {
+    parallel_merge(buf, mid, buf + mid, n - mid, data, grain);
+  } else {
+    parallel_merge(data, mid, data + mid, n - mid, buf, grain);
+  }
+}
+}  // namespace detail
+
+template <typename T>
+void parallel_sort(T* data, uint64_t n, uint64_t grain = 8192) {
+  if (n <= 1) return;
+  if (Scheduler::instance().num_workers() <= 1 || n <= grain) {
+    std::sort(data, data + n);
+    return;
+  }
+  util::uvector<T> buf(n);  // scratch: first-touched by the parallel writers
+  detail::sort_rec(data, buf.data(), n, true, grain);
+}
+
+template <typename T>
+void parallel_sort(std::vector<T>& v) {
+  parallel_sort(v.data(), v.size());
+}
+
+}  // namespace cpma::par

@@ -1,0 +1,50 @@
+// Per-worker storage, used to implement the "thread-safe set of modified
+// leaves" from the batch-merge phase without contention: each worker appends
+// to its own padded slot, and the single-threaded phase boundary combines
+// the slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+
+namespace cpma::par {
+
+template <typename T>
+class WorkerLocal {
+ public:
+  WorkerLocal() : slots_(Scheduler::instance().num_workers()) {}
+
+  T& local() {
+    int id = Scheduler::current_worker_id();
+    // Threads outside the pool (e.g. the caller before registering as
+    // master) share slot 0; the library's single-writer batch model means at
+    // most one such thread is active.
+    return slots_[id < 0 ? 0 : static_cast<size_t>(id)].value;
+  }
+
+  size_t num_slots() const { return slots_.size(); }
+  T& slot(size_t i) { return slots_[i].value; }
+
+  // Single-threaded combine of vector-like slots into one vector (moves the
+  // elements out of the slots).
+  template <typename U = T>
+  U combined() {
+    U all;
+    for (auto& s : slots_) {
+      all.insert(all.end(), std::make_move_iterator(s.value.begin()),
+                 std::make_move_iterator(s.value.end()));
+      s.value.clear();
+    }
+    return all;
+  }
+
+ private:
+  struct alignas(64) Padded {
+    T value{};
+  };
+  std::vector<Padded> slots_;
+};
+
+}  // namespace cpma::par

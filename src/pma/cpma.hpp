@@ -1,0 +1,20 @@
+// Public umbrella header for the PMA / CPMA library.
+//
+//   #include "pma/cpma.hpp"
+//   cpma::PMA  pma;   // uncompressed Packed Memory Array
+//   cpma::CPMA cpma;  // Compressed Packed Memory Array (delta + byte codes)
+//
+// Both types share one engine (see pma/pma.hpp) and expose the API documented
+// in the paper's artifact appendix.
+#pragma once
+
+#include "pma/leaf_compressed.hpp"
+#include "pma/leaf_uncompressed.hpp"
+#include "pma/pma.hpp"
+
+namespace cpma {
+
+using PMA = pma::PackedMemoryArray<pma::UncompressedLeaf>;
+using CPMA = pma::PackedMemoryArray<pma::CompressedLeaf>;
+
+}  // namespace cpma

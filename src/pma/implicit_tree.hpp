@@ -1,0 +1,64 @@
+// The PMA's implicit binary tree over leaves — "without pointers".
+//
+// A node is identified by (height, index): node (h, i) covers leaves
+// [i * 2^h, min((i+1) * 2^h, num_leaves)). Supporting a non-power-of-two
+// number of leaves (the right spine of the conceptual tree is clipped) is
+// what lets the array grow by a 1.2x factor instead of doubling.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.hpp"
+
+namespace cpma::pma {
+
+struct NodeId {
+  uint64_t height;
+  uint64_t index;
+
+  NodeId parent() const { return {height + 1, index / 2}; }
+  bool operator==(const NodeId&) const = default;
+};
+
+// Packs a NodeId into a hash-map key. Heights fit easily in 8 bits
+// (2^56 leaves is beyond any address space).
+constexpr uint64_t node_key(NodeId n) {
+  return (n.height << 56) | n.index;
+}
+
+class ImplicitTree {
+ public:
+  explicit ImplicitTree(uint64_t num_leaves) : num_leaves_(num_leaves) {
+    height_ = (num_leaves <= 1) ? 0 : util::log2_ceil(num_leaves);
+  }
+
+  uint64_t num_leaves() const { return num_leaves_; }
+  // Height of the root; leaves are height 0.
+  uint64_t height() const { return height_; }
+
+  NodeId root() const { return {height_, 0}; }
+  bool is_root(NodeId n) const { return n.height == height_; }
+
+  // First leaf covered by the node (may be >= num_leaves for clipped nodes).
+  uint64_t region_begin(NodeId n) const { return n.index << n.height; }
+  // One past the last leaf covered, clipped to the real leaf count.
+  uint64_t region_end(NodeId n) const {
+    uint64_t end = (n.index + 1) << n.height;
+    return end > num_leaves_ ? num_leaves_ : end;
+  }
+  uint64_t region_leaves(NodeId n) const {
+    uint64_t b = region_begin(n), e = region_end(n);
+    return e > b ? e - b : 0;
+  }
+  bool valid(NodeId n) const {
+    return n.height <= height_ && region_begin(n) < num_leaves_;
+  }
+
+  NodeId leaf_node(uint64_t leaf) const { return {0, leaf}; }
+
+ private:
+  uint64_t num_leaves_;
+  uint64_t height_;
+};
+
+}  // namespace cpma::pma

@@ -1,0 +1,301 @@
+// Compressed leaf policy (the C in CPMA).
+//
+// Layout per Section 5 of the paper: the first sizeof(key) bytes hold the
+// HEAD, uncompressed (0 = empty leaf); the body holds delta-encoded byte
+// codes for the remaining keys. Because this is a set, every delta is >= 1,
+// so no encoded value contains a 0x00 byte — the zero-filled tail therefore
+// doubles as the end-of-stream marker and the leaf needs no explicit length
+// (the structure stays pointer- and metadata-free).
+//
+// All mutations are single passes over the leaf, which is what preserves the
+// PMA's asymptotic bounds (leaves are O(log n) bytes).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "codec/varint.hpp"
+
+namespace cpma::pma {
+
+struct CompressedLeaf {
+  using key_type = uint64_t;
+  static constexpr const char* name = "cpma";
+  static constexpr bool compressed = true;
+  static constexpr size_t kHeadBytes = 8;
+
+  static uint64_t head(const uint8_t* leaf) {
+    uint64_t h;
+    std::memcpy(&h, leaf, 8);
+    return h;
+  }
+  static void set_head(uint8_t* leaf, uint64_t h) { std::memcpy(leaf, &h, 8); }
+
+  // One past the last used byte (head included); 0 for an empty leaf.
+  static size_t used_bytes(const uint8_t* leaf, size_t cap) {
+    if (head(leaf) == 0) return 0;
+    const void* z = std::memchr(leaf + kHeadBytes, 0, cap - kHeadBytes);
+    return z == nullptr ? cap
+                        : static_cast<size_t>(static_cast<const uint8_t*>(z) -
+                                              leaf);
+  }
+
+  static uint64_t element_count(const uint8_t* leaf, size_t cap) {
+    if (head(leaf) == 0) return 0;
+    size_t end = used_bytes(leaf, cap);
+    uint64_t n = 1;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      pos += codec::varint_skip(leaf + pos);
+      ++n;
+    }
+    return n;
+  }
+
+  static bool contains(const uint8_t* leaf, size_t cap, uint64_t key) {
+    uint64_t h = head(leaf);
+    if (h == 0 || key < h) return false;
+    if (key == h) return true;
+    size_t end = used_bytes(leaf, cap);
+    uint64_t cur = h;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      uint64_t delta;
+      pos += codec::varint_decode(leaf + pos, &delta);
+      cur += delta;
+      if (cur == key) return true;
+      if (cur > key) return false;
+    }
+    return false;
+  }
+
+  static std::optional<uint64_t> lower_bound(const uint8_t* leaf, size_t cap,
+                                             uint64_t key) {
+    uint64_t h = head(leaf);
+    if (h == 0) return std::nullopt;
+    if (h >= key) return h;
+    size_t end = used_bytes(leaf, cap);
+    uint64_t cur = h;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      uint64_t delta;
+      pos += codec::varint_decode(leaf + pos, &delta);
+      cur += delta;
+      if (cur >= key) return cur;
+    }
+    return std::nullopt;
+  }
+
+  // Inserts `key` with a single pass; returns false if present.
+  // Precondition (engine slack invariant): up to 19 extra bytes fit.
+  static bool insert(uint8_t* leaf, size_t cap, uint64_t key) {
+    uint64_t h = head(leaf);
+    if (h == 0) {
+      set_head(leaf, key);
+      return true;
+    }
+    if (key == h) return false;
+    size_t end = used_bytes(leaf, cap);
+    if (key < h) {
+      // New minimum: key becomes the head, the old head becomes the first
+      // delta.
+      uint8_t tmp[codec::kMaxVarintBytes];
+      size_t len = codec::varint_encode(h - key, tmp);
+      assert(end + len <= cap);
+      std::memmove(leaf + kHeadBytes + len, leaf + kHeadBytes,
+                   end - kHeadBytes);
+      std::memcpy(leaf + kHeadBytes, tmp, len);
+      set_head(leaf, key);
+      return true;
+    }
+    uint64_t prev = h;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      uint64_t delta;
+      size_t old_len = codec::varint_decode(leaf + pos, &delta);
+      uint64_t cur = prev + delta;
+      if (cur == key) return false;
+      if (cur > key) {
+        // Split delta(cur - prev) into delta(key - prev) + delta(cur - key).
+        uint8_t tmp[2 * codec::kMaxVarintBytes];
+        size_t l1 = codec::varint_encode(key - prev, tmp);
+        size_t l2 = codec::varint_encode(cur - key, tmp + l1);
+        size_t new_len = l1 + l2;
+        assert(new_len >= old_len);
+        assert(end + (new_len - old_len) <= cap);
+        std::memmove(leaf + pos + new_len, leaf + pos + old_len,
+                     end - (pos + old_len));
+        std::memcpy(leaf + pos, tmp, new_len);
+        return true;
+      }
+      prev = cur;
+      pos += old_len;
+    }
+    // Largest key in the leaf: append.
+    uint8_t tmp[codec::kMaxVarintBytes];
+    size_t len = codec::varint_encode(key - prev, tmp);
+    assert(pos + len <= cap);
+    std::memcpy(leaf + pos, tmp, len);
+    return true;
+  }
+
+  static bool remove(uint8_t* leaf, size_t cap, uint64_t key) {
+    uint64_t h = head(leaf);
+    if (h == 0 || key < h) return false;
+    size_t end = used_bytes(leaf, cap);
+    if (key == h) {
+      if (end <= kHeadBytes) {  // only element
+        std::memset(leaf, 0, kHeadBytes);
+        return true;
+      }
+      uint64_t delta;
+      size_t len = codec::varint_decode(leaf + kHeadBytes, &delta);
+      set_head(leaf, h + delta);
+      std::memmove(leaf + kHeadBytes, leaf + kHeadBytes + len,
+                   end - kHeadBytes - len);
+      std::memset(leaf + end - len, 0, len);
+      return true;
+    }
+    uint64_t prev = h;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      uint64_t delta;
+      size_t l1 = codec::varint_decode(leaf + pos, &delta);
+      uint64_t cur = prev + delta;
+      if (cur > key) return false;
+      if (cur == key) {
+        if (pos + l1 >= end) {  // last element: drop its delta
+          std::memset(leaf + pos, 0, l1);
+          return true;
+        }
+        uint64_t next_delta;
+        size_t l2 = codec::varint_decode(leaf + pos + l1, &next_delta);
+        uint8_t tmp[codec::kMaxVarintBytes];
+        size_t lm = codec::varint_encode(delta + next_delta, tmp);
+        assert(lm <= l1 + l2);
+        std::memcpy(leaf + pos, tmp, lm);
+        std::memmove(leaf + pos + lm, leaf + pos + l1 + l2,
+                     end - (pos + l1 + l2));
+        std::memset(leaf + end - (l1 + l2 - lm), 0, l1 + l2 - lm);
+        return true;
+      }
+      prev = cur;
+      pos += l1;
+    }
+    return false;
+  }
+
+  static void decode_append(const uint8_t* leaf, size_t cap,
+                            std::vector<uint64_t>& out) {
+    uint64_t h = head(leaf);
+    if (h == 0) return;
+    out.push_back(h);
+    size_t end = used_bytes(leaf, cap);
+    uint64_t cur = h;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      uint64_t delta;
+      pos += codec::varint_decode(leaf + pos, &delta);
+      cur += delta;
+      out.push_back(cur);
+    }
+  }
+
+  static size_t encoded_size(const uint64_t* keys, size_t n) {
+    if (n == 0) return 0;
+    size_t total = kHeadBytes;
+    for (size_t i = 1; i < n; ++i) {
+      total += codec::varint_size(keys[i] - keys[i - 1]);
+    }
+    return total;
+  }
+
+  static void write(uint8_t* leaf, size_t cap, const uint64_t* keys,
+                    size_t n) {
+    if (n == 0) {
+      std::memset(leaf, 0, cap);
+      return;
+    }
+    set_head(leaf, keys[0]);
+    size_t pos = kHeadBytes;
+    for (size_t i = 1; i < n; ++i) {
+      assert(pos + codec::kMaxVarintBytes <= cap ||
+             pos + codec::varint_size(keys[i] - keys[i - 1]) <= cap);
+      pos += codec::varint_encode(keys[i] - keys[i - 1], leaf + pos);
+    }
+    assert(pos <= cap);
+    std::memset(leaf + pos, 0, cap - pos);
+  }
+
+  static uint64_t sum_leaf(const uint8_t* leaf, size_t cap) {
+    uint64_t h = head(leaf);
+    if (h == 0) return 0;
+    size_t end = used_bytes(leaf, cap);
+    uint64_t cur = h, s = h;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      uint64_t delta;
+      pos += codec::varint_decode(leaf + pos, &delta);
+      cur += delta;
+      s += cur;
+    }
+    return s;
+  }
+
+  static uint64_t last(const uint8_t* leaf, size_t cap) {
+    uint64_t h = head(leaf);
+    if (h == 0) return 0;
+    size_t end = used_bytes(leaf, cap);
+    uint64_t cur = h;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      uint64_t delta;
+      pos += codec::varint_decode(leaf + pos, &delta);
+      cur += delta;
+    }
+    return cur;
+  }
+
+  template <typename F>
+  static bool map(const uint8_t* leaf, size_t cap, F&& f) {
+    uint64_t h = head(leaf);
+    if (h == 0) return true;
+    if (!f(h)) return false;
+    size_t end = used_bytes(leaf, cap);
+    uint64_t cur = h;
+    size_t pos = kHeadBytes;
+    while (pos < end) {
+      uint64_t delta;
+      pos += codec::varint_decode(leaf + pos, &delta);
+      cur += delta;
+      if (!f(cur)) return false;
+    }
+    return true;
+  }
+
+  struct Cursor {
+    size_t pos = 0;  // byte offset of the NEXT delta
+    uint64_t value = 0;
+  };
+
+  static bool cursor_begin(const uint8_t* leaf, size_t cap, Cursor& cur) {
+    uint64_t h = head(leaf);
+    if (h == 0) return false;
+    cur.value = h;
+    cur.pos = kHeadBytes;
+    return true;
+  }
+
+  static bool cursor_next(const uint8_t* leaf, size_t cap, Cursor& cur) {
+    if (cur.pos >= cap || leaf[cur.pos] == 0) return false;
+    uint64_t delta;
+    cur.pos += codec::varint_decode(leaf + cur.pos, &delta);
+    cur.value += delta;
+    return true;
+  }
+};
+
+}  // namespace cpma::pma

@@ -1,0 +1,163 @@
+// Uncompressed leaf policy: packed-left sorted 64-bit keys, empty cells are
+// 0 (which is why key 0 is handled out-of-band by the engine). The policy
+// reports occupancy in bytes so the engine's density math is shared with the
+// compressed policy.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+namespace cpma::pma {
+
+struct UncompressedLeaf {
+  using key_type = uint64_t;
+  static constexpr const char* name = "pma";
+  static constexpr bool compressed = false;
+
+  static const uint64_t* cells(const uint8_t* leaf) {
+    return reinterpret_cast<const uint64_t*>(leaf);
+  }
+  static uint64_t* cells(uint8_t* leaf) {
+    return reinterpret_cast<uint64_t*>(leaf);
+  }
+
+  // Number of occupied cells: packed-left, so it's the index of the first
+  // zero cell (linear scan; leaves are O(log n) cells).
+  static uint64_t element_count(const uint8_t* leaf, size_t cap) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    uint64_t i = 0;
+    while (i < n && c[i] != 0) ++i;
+    return i;
+  }
+
+  static size_t used_bytes(const uint8_t* leaf, size_t cap) {
+    return element_count(leaf, cap) * 8;
+  }
+
+  static uint64_t head(const uint8_t* leaf) { return cells(leaf)[0]; }
+
+  static bool contains(const uint8_t* leaf, size_t cap, uint64_t key) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    for (uint64_t i = 0; i < n && c[i] != 0; ++i) {
+      if (c[i] == key) return true;
+      if (c[i] > key) return false;
+    }
+    return false;
+  }
+
+  // Smallest stored key >= `key`, if any.
+  static std::optional<uint64_t> lower_bound(const uint8_t* leaf, size_t cap,
+                                             uint64_t key) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    for (uint64_t i = 0; i < n && c[i] != 0; ++i) {
+      if (c[i] >= key) return c[i];
+    }
+    return std::nullopt;
+  }
+
+  // Inserts `key`; returns false if already present. Precondition: the leaf
+  // has at least one free cell (the engine's slack invariant guarantees it).
+  static bool insert(uint8_t* leaf, size_t cap, uint64_t key) {
+    uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    uint64_t i = 0;
+    while (i < n && c[i] != 0 && c[i] < key) ++i;
+    assert(i < n);
+    if (c[i] == key) return false;
+    // Shift the tail right by one cell to open the slot.
+    uint64_t cnt = i;
+    while (cnt < n && c[cnt] != 0) ++cnt;
+    assert(cnt < n);
+    std::memmove(c + i + 1, c + i, (cnt - i) * 8);
+    c[i] = key;
+    return true;
+  }
+
+  static bool remove(uint8_t* leaf, size_t cap, uint64_t key) {
+    uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    uint64_t i = 0;
+    while (i < n && c[i] != 0 && c[i] < key) ++i;
+    if (i >= n || c[i] != key) return false;
+    uint64_t cnt = i;
+    while (cnt < n && c[cnt] != 0) ++cnt;
+    std::memmove(c + i, c + i + 1, (cnt - 1 - i) * 8);
+    c[cnt - 1] = 0;
+    return true;
+  }
+
+  static void decode_append(const uint8_t* leaf, size_t cap,
+                            std::vector<uint64_t>& out) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    for (uint64_t i = 0; i < n && c[i] != 0; ++i) out.push_back(c[i]);
+  }
+
+  // Bytes `write` would use for these keys.
+  static size_t encoded_size(const uint64_t* keys, size_t n) { return n * 8; }
+
+  // Overwrites the leaf with keys[0..n); zero-fills the tail.
+  static void write(uint8_t* leaf, size_t cap, const uint64_t* keys,
+                    size_t n) {
+    assert(n * 8 <= cap);
+    std::memcpy(leaf, keys, n * 8);
+    std::memset(leaf + n * 8, 0, cap - n * 8);
+  }
+
+  static uint64_t sum_leaf(const uint8_t* leaf, size_t cap) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    uint64_t s = 0;
+    for (uint64_t i = 0; i < n && c[i] != 0; ++i) s += c[i];
+    return s;
+  }
+
+  static uint64_t last(const uint8_t* leaf, size_t cap) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = element_count(leaf, cap);
+    return n == 0 ? 0 : c[n - 1];
+  }
+
+  // Applies f(key) in order; f returns false to stop. Returns false if
+  // stopped early.
+  template <typename F>
+  static bool map(const uint8_t* leaf, size_t cap, F&& f) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    for (uint64_t i = 0; i < n && c[i] != 0; ++i) {
+      if (!f(c[i])) return false;
+    }
+    return true;
+  }
+
+  // Streaming cursor for the engine's iterators.
+  struct Cursor {
+    uint64_t pos = 0;
+    uint64_t value = 0;
+  };
+
+  static bool cursor_begin(const uint8_t* leaf, size_t cap, Cursor& cur) {
+    const uint64_t* c = cells(leaf);
+    if (cap == 0 || c[0] == 0) return false;
+    cur.pos = 0;
+    cur.value = c[0];
+    return true;
+  }
+
+  static bool cursor_next(const uint8_t* leaf, size_t cap, Cursor& cur) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    if (cur.pos + 1 >= n || c[cur.pos + 1] == 0) return false;
+    ++cur.pos;
+    cur.value = c[cur.pos];
+    return true;
+  }
+};
+
+}  // namespace cpma::pma

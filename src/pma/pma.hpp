@@ -1,0 +1,698 @@
+// PackedMemoryArray<LeafPolicy> — the paper's core data structure.
+//
+// One engine implements both the PMA (UncompressedLeaf) and the CPMA
+// (CompressedLeaf): the engine works entirely in BYTE densities, which is the
+// generalization Section 5 makes ("the density in a CPMA node is the ratio of
+// filled bytes to total bytes").
+//
+// Structure: a flat byte array split into `num_leaves` leaves of `leaf_bytes`
+// bytes (Theta(log n) sized, power-of-two), an implicit binary tree over the
+// leaves with height-interpolated density bounds, and a contiguous head index
+// (one key per leaf, empty leaves inherit their predecessor's head) used for
+// binary-searching — our stand-in for the search-optimized layout of
+// Wheatman et al. [ALENEX'23] that the paper builds on.
+//
+// Supported operations mirror the paper's artifact API: insert/remove,
+// insert_batch/remove_batch (the paper's parallel batch-update algorithm),
+// has, size, get_size, sum, min/max, map, parallel_map, map_range,
+// map_range_length, iteration.
+//
+// Key 0 is the empty-cell sentinel inside leaves, so it is stored out-of-band
+// (`has_zero_`); all public operations handle it transparently.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "parallel/reduce.hpp"
+#include "parallel/scan.hpp"
+#include "parallel/scheduler.hpp"
+#include "parallel/seq_ops.hpp"
+#include "parallel/sort.hpp"
+#include "parallel/worker_local.hpp"
+#include "pma/implicit_tree.hpp"
+#include "pma/settings.hpp"
+#include "util/bits.hpp"
+#include "util/uninitialized.hpp"
+
+namespace cpma::pma {
+
+template <typename Leaf>
+class PackedMemoryArray {
+ public:
+  using key_type = uint64_t;
+  using leaf_policy = Leaf;
+  // Default-init vector used for all bulk key scratch (see util/uninitialized.hpp).
+  using kvec = util::uvector<key_type>;
+
+  static constexpr size_t kMinLeafBytes = 512;
+  static constexpr uint64_t kMinLeaves = 2;
+  // Batches below this size are applied as point updates (the paper: "if k is
+  // small, the overheads from the batch-update algorithm outweigh the
+  // benefits").
+  static constexpr uint64_t kPointThreshold = 128;
+
+  explicit PackedMemoryArray(PmaSettings settings = {})
+      : settings_(settings) {
+    init_empty();
+  }
+
+  // Builds from an arbitrary range of keys (need not be sorted or unique).
+  PackedMemoryArray(const key_type* start, const key_type* end,
+                    PmaSettings settings = {})
+      : settings_(settings) {
+    init_empty();
+    std::vector<key_type> keys(start, end);
+    insert_batch(keys.data(), keys.size(), /*sorted=*/false);
+  }
+
+  // ---- size & space -------------------------------------------------------
+
+  // Number of stored keys.
+  uint64_t size() const { return count_ + (has_zero_ ? 1 : 0); }
+  bool empty() const { return size() == 0; }
+
+  // Memory used by the structure, in bytes (paper API `get_size`).
+  uint64_t get_size() const {
+    return data_.capacity() + head_index_.capacity() * sizeof(key_type) +
+           sizeof(*this);
+  }
+
+  uint64_t num_leaves() const { return num_leaves_; }
+  uint64_t leaf_bytes() const { return leaf_bytes_; }
+  uint64_t total_bytes() const { return data_.size(); }
+  const PmaSettings& settings() const { return settings_; }
+
+  // ---- point operations ---------------------------------------------------
+
+  bool has(key_type key) const {
+    if (key == 0) return has_zero_;
+    uint64_t l = find_leaf(key);
+    return Leaf::contains(leaf_ptr(l), leaf_bytes_, key);
+  }
+
+  // Inserts `key`; returns true iff it was not already present.
+  bool insert(key_type key) {
+    if (key == 0) {
+      bool added = !has_zero_;
+      has_zero_ = true;
+      return added;
+    }
+    uint64_t l = find_leaf(key);
+    uint8_t* lp = leaf_ptr(l);
+    if (!Leaf::insert(lp, leaf_bytes_, key)) return false;
+    ++count_;
+    if (Leaf::head(lp) != head_index_[l]) update_head_index(l, l + 1);
+    rebalance_insert(l);
+    return true;
+  }
+
+  // Removes `key`; returns true iff it was present.
+  bool remove(key_type key) {
+    if (key == 0) {
+      bool removed = has_zero_;
+      has_zero_ = false;
+      return removed;
+    }
+    uint64_t l = find_leaf(key);
+    uint8_t* lp = leaf_ptr(l);
+    if (!Leaf::remove(lp, leaf_bytes_, key)) return false;
+    --count_;
+    update_head_index(l, l + 1);
+    rebalance_remove(l);
+    return true;
+  }
+
+  // Smallest stored key >= `key` (paper's `search`).
+  std::optional<key_type> successor(key_type key) const {
+    if (key == 0 && has_zero_) return key_type{0};
+    uint64_t l = find_leaf(key == 0 ? 1 : key);
+    if (auto v = Leaf::lower_bound(leaf_ptr(l), leaf_bytes_, key)) return v;
+    for (uint64_t j = l + 1; j < num_leaves_; ++j) {
+      key_type h = Leaf::head(leaf_ptr(j));
+      if (h != 0) return h;  // first key after leaf l; necessarily >= key
+    }
+    return std::nullopt;
+  }
+
+  key_type min() const {
+    if (has_zero_) return 0;
+    for (uint64_t l = 0; l < num_leaves_; ++l) {
+      key_type h = Leaf::head(leaf_ptr(l));
+      if (h != 0) return h;
+    }
+    return 0;
+  }
+
+  key_type max() const {
+    for (uint64_t l = num_leaves_; l-- > 0;) {
+      if (Leaf::head(leaf_ptr(l)) != 0) {
+        return Leaf::last(leaf_ptr(l), leaf_bytes_);
+      }
+    }
+    return 0;
+  }
+
+  // ---- batch operations (Section 4 of the paper) --------------------------
+
+  // Inserts a batch; `input` is used as scratch (sorted in place when
+  // sorted == false, matching the artifact API). Returns the number of keys
+  // newly added (duplicates of existing keys do not count).
+  uint64_t insert_batch(key_type* input, uint64_t n, bool sorted = false);
+  uint64_t insert_batch(std::vector<key_type> batch, bool sorted = false) {
+    return insert_batch(batch.data(), batch.size(), sorted);
+  }
+
+  // Removes a batch; returns the number of keys actually removed.
+  uint64_t remove_batch(key_type* input, uint64_t n, bool sorted = false);
+  uint64_t remove_batch(std::vector<key_type> batch, bool sorted = false) {
+    return remove_batch(batch.data(), batch.size(), sorted);
+  }
+
+  // Serial batch-insert BASELINE in the style of the Rewired PMA [De Leo &
+  // Boncz, ICDE'19]: per-leaf merges shared between updates, but rebalancing
+  // walks (and re-counts) per touched leaf instead of running the
+  // work-efficient counting phase. Used by the Table 4 bench as the
+  // comparator the paper's serial batch algorithm is measured against.
+  uint64_t insert_batch_serial_baseline(key_type* input, uint64_t n,
+                                        bool sorted = false);
+
+  // ---- scans --------------------------------------------------------------
+
+  // Applies f(key) to every key in sorted order.
+  template <typename F>
+  void map(F&& f) const {
+    if (has_zero_) f(key_type{0});
+    for (uint64_t l = 0; l < num_leaves_; ++l) {
+      Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
+        f(k);
+        return true;
+      });
+    }
+  }
+
+  // Applies f(key) to every key, in parallel across leaves (order within a
+  // leaf is sorted; across leaves, concurrent).
+  template <typename F>
+  void parallel_map(F&& f) const {
+    if (has_zero_) f(key_type{0});
+    par::parallel_for(0, num_leaves_, [&](uint64_t l) {
+      Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
+        f(k);
+        return true;
+      });
+    }, 4);
+  }
+
+  // Applies f to keys in [start, end), in order (paper's range_map).
+  template <typename F>
+  void map_range(F&& f, key_type start, key_type end) const {
+    if (start >= end) return;
+    if (start == 0 && has_zero_) f(key_type{0});
+    key_type lo = start == 0 ? 1 : start;
+    uint64_t l = find_leaf(lo);
+    for (; l < num_leaves_; ++l) {
+      bool keep_going = Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
+        if (k < lo) return true;
+        if (k >= end) return false;
+        f(k);
+        return true;
+      });
+      if (!keep_going) return;
+      // Next leaf's keys are all > this leaf's; stop once past `end`.
+      if (l + 1 < num_leaves_ && head_index_[l + 1] >= end &&
+          Leaf::head(leaf_ptr(l + 1)) != 0) {
+        return;
+      }
+    }
+  }
+
+  // Applies f to at most `length` keys starting from the smallest key
+  // >= start; returns how many were applied.
+  template <typename F>
+  uint64_t map_range_length(F&& f, key_type start, uint64_t length) const {
+    if (length == 0) return 0;
+    uint64_t applied = 0;
+    if (start == 0 && has_zero_) {
+      f(key_type{0});
+      if (++applied == length) return applied;
+    }
+    key_type lo = start == 0 ? 1 : start;
+    uint64_t l = find_leaf(lo);
+    for (; l < num_leaves_ && applied < length; ++l) {
+      Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
+        if (k < lo) return true;
+        f(k);
+        return ++applied < length;
+      });
+    }
+    return applied;
+  }
+
+  // Parallel sum of all keys.
+  uint64_t sum() const {
+    return par::parallel_sum<uint64_t>(
+        0, num_leaves_,
+        [&](uint64_t l) { return Leaf::sum_leaf(leaf_ptr(l), leaf_bytes_); },
+        4);
+  }
+
+  // ---- iteration ----------------------------------------------------------
+
+  class const_iterator {
+   public:
+    using value_type = key_type;
+    using difference_type = std::ptrdiff_t;
+    using reference = key_type;
+    using pointer = const key_type*;
+    using iterator_category = std::forward_iterator_tag;
+
+    const_iterator() = default;
+    key_type operator*() const { return at_zero_ ? 0 : cur_.value; }
+
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+
+    const_iterator& operator++() {
+      if (at_zero_) {
+        at_zero_ = false;
+        seek_first_leaf(0);
+        return *this;
+      }
+      if (!Leaf::cursor_next(pma_->leaf_ptr(leaf_), pma_->leaf_bytes_, cur_)) {
+        seek_first_leaf(leaf_ + 1);
+      }
+      return *this;
+    }
+
+    bool operator==(const const_iterator& o) const {
+      return leaf_ == o.leaf_ && at_zero_ == o.at_zero_ &&
+             (leaf_ == end_leaf() || cur_.pos == o.cur_.pos);
+    }
+
+   private:
+    friend class PackedMemoryArray;
+    explicit const_iterator(const PackedMemoryArray* p) : pma_(p) {}
+
+    uint64_t end_leaf() const { return pma_ ? pma_->num_leaves_ : 0; }
+
+    void seek_first_leaf(uint64_t from) {
+      for (leaf_ = from; leaf_ < pma_->num_leaves_; ++leaf_) {
+        if (Leaf::cursor_begin(pma_->leaf_ptr(leaf_), pma_->leaf_bytes_,
+                               cur_)) {
+          return;
+        }
+      }
+    }
+
+    const PackedMemoryArray* pma_ = nullptr;
+    uint64_t leaf_ = 0;
+    typename Leaf::Cursor cur_{};
+    bool at_zero_ = false;
+  };
+
+  const_iterator begin() const {
+    const_iterator it(this);
+    if (has_zero_) {
+      it.at_zero_ = true;
+    } else {
+      it.seek_first_leaf(0);
+    }
+    return it;
+  }
+
+  const_iterator end() const {
+    const_iterator it(this);
+    it.leaf_ = num_leaves_;
+    return it;
+  }
+
+  // ---- advanced iteration (used by F-Graph's vertex index) -----------------
+  // A Position names a key's location (leaf + in-leaf cursor). Positions are
+  // invalidated by ANY update; F-Graph rebuilds its index after batches, the
+  // same protocol the paper uses for the vertex offset array.
+
+  struct Position {
+    uint64_t leaf = 0;
+    typename Leaf::Cursor cur{};
+  };
+
+  // Calls f(position, key) for every key in leaf l, in order.
+  template <typename F>
+  void scan_leaf_positions(uint64_t l, F&& f) const {
+    typename Leaf::Cursor cur;
+    const uint8_t* lp = leaf_ptr(l);
+    if (!Leaf::cursor_begin(lp, leaf_bytes_, cur)) return;
+    do {
+      f(Position{l, cur}, cur.value);
+    } while (Leaf::cursor_next(lp, leaf_bytes_, cur));
+  }
+
+  // Number of keys stored in leaf l (for building rank offsets).
+  uint64_t leaf_element_count(uint64_t l) const {
+    return Leaf::element_count(leaf_ptr(l), leaf_bytes_);
+  }
+
+  // Key-only scan of leaf l (no positions): the hot loop of flat
+  // arbitrary-order graph kernels.
+  template <typename F>
+  void scan_leaf_keys(uint64_t l, F&& f) const {
+    Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
+      f(k);
+      return true;
+    });
+  }
+
+  // Iterates keys starting at `pos` (inclusive), continuing across leaves,
+  // while f(key) returns true.
+  template <typename F>
+  void map_from_position(Position pos, F&& f) const {
+    uint64_t l = pos.leaf;
+    if (l >= num_leaves_) return;
+    typename Leaf::Cursor cur = pos.cur;
+    while (true) {
+      if (!f(cur.value)) return;
+      if (!Leaf::cursor_next(leaf_ptr(l), leaf_bytes_, cur)) {
+        ++l;
+        while (l < num_leaves_ &&
+               !Leaf::cursor_begin(leaf_ptr(l), leaf_bytes_, cur)) {
+          ++l;
+        }
+        if (l >= num_leaves_) return;
+      }
+    }
+  }
+
+  // ---- introspection (tests, benches) --------------------------------------
+
+  // Occupied bytes over total bytes.
+  double density() const {
+    uint64_t used = par::parallel_sum<uint64_t>(
+        0, num_leaves_,
+        [&](uint64_t l) { return Leaf::used_bytes(leaf_ptr(l), leaf_bytes_); },
+        4);
+    return static_cast<double>(used) / static_cast<double>(data_.size());
+  }
+
+  // Validates the structural invariants; returns true and leaves *err
+  // untouched on success.
+  bool check_invariants(std::string* err) const;
+
+ private:
+  // ---- layout ---------------------------------------------------------------
+
+  uint8_t* leaf_ptr(uint64_t l) { return data_.data() + l * leaf_bytes_; }
+  const uint8_t* leaf_ptr(uint64_t l) const {
+    return data_.data() + l * leaf_bytes_;
+  }
+
+  // Chooses leaf size Theta(log N) bytes (power of two) for a given total.
+  static size_t pick_leaf_bytes(uint64_t total) {
+    uint64_t target = 16 * util::log2_ceil(std::max<uint64_t>(total, 2));
+    target = std::max<uint64_t>(target, kMinLeafBytes);
+    target = std::min<uint64_t>(target, 1 << 16);
+    return util::next_pow2(target);
+  }
+
+  void init_empty() {
+    leaf_bytes_ = kMinLeafBytes;
+    num_leaves_ = kMinLeaves;
+    data_.assign(num_leaves_ * leaf_bytes_, 0);  // small: serial zeroing fine
+    head_index_.assign(num_leaves_, 0);
+    count_ = 0;
+  }
+
+  // ---- head index ----------------------------------------------------------
+
+  // Leaf whose key range contains `key`: the first leaf of the run of equal
+  // head-index entries ending at the last entry <= key.
+  uint64_t find_leaf(key_type key) const {
+    auto it = std::upper_bound(head_index_.begin(), head_index_.end(), key);
+    if (it == head_index_.begin()) return 0;
+    --it;
+    auto first = std::lower_bound(head_index_.begin(), it, *it);
+    return static_cast<uint64_t>(first - head_index_.begin());
+  }
+
+  // Recomputes index entries for leaves [lo, hi), then propagates through any
+  // trailing run of empty leaves.
+  void update_head_index(uint64_t lo, uint64_t hi) {
+    for (uint64_t l = lo; l < hi; ++l) {
+      key_type h = Leaf::head(leaf_ptr(l));
+      head_index_[l] = (h != 0) ? h : (l == 0 ? 0 : head_index_[l - 1]);
+    }
+    for (uint64_t l = hi; l < num_leaves_; ++l) {
+      if (Leaf::head(leaf_ptr(l)) != 0) break;
+      head_index_[l] = head_index_[l - 1];
+    }
+  }
+
+  void rebuild_head_index() {
+    head_index_.resize(num_leaves_);
+    const uint64_t chunk = 2048;
+    if (num_leaves_ <= 2 * chunk) {
+      key_type prev = 0;
+      for (uint64_t l = 0; l < num_leaves_; ++l) {
+        key_type h = Leaf::head(leaf_ptr(l));
+        prev = (h != 0) ? h : prev;
+        head_index_[l] = prev;
+      }
+      return;
+    }
+    // Chunked two-pass: fill raw heads per chunk and record each chunk's
+    // last nonempty head; serially carry across chunks; then fill the empty
+    // entries with the carried value.
+    const uint64_t num_chunks = (num_leaves_ + chunk - 1) / chunk;
+    std::vector<key_type> chunk_last(num_chunks, 0);
+    par::parallel_for(0, num_chunks, [&](uint64_t c) {
+      uint64_t lo = c * chunk, hi = std::min(num_leaves_, lo + chunk);
+      key_type prev = 0;
+      for (uint64_t l = lo; l < hi; ++l) {
+        key_type h = Leaf::head(leaf_ptr(l));
+        prev = (h != 0) ? h : prev;
+        head_index_[l] = prev;  // 0 marks "no head yet within this chunk"
+      }
+      chunk_last[c] = prev;
+    }, 1);
+    for (uint64_t c = 1; c < num_chunks; ++c) {
+      if (chunk_last[c] == 0) chunk_last[c] = chunk_last[c - 1];
+    }
+    par::parallel_for(1, num_chunks, [&](uint64_t c) {
+      key_type carry = chunk_last[c - 1];
+      uint64_t lo = c * chunk, hi = std::min(num_leaves_, lo + chunk);
+      for (uint64_t l = lo; l < hi && head_index_[l] == 0; ++l) {
+        head_index_[l] = carry;
+      }
+    }, 1);
+  }
+
+  // ---- densities -----------------------------------------------------------
+
+  uint64_t region_capacity(const ImplicitTree& t, NodeId n) const {
+    return t.region_leaves(n) * leaf_bytes_;
+  }
+
+  uint64_t upper_bytes(const ImplicitTree& t, NodeId n) const {
+    double frac = settings_.upper_at(n.height, t.height());
+    return static_cast<uint64_t>(frac *
+                                 static_cast<double>(region_capacity(t, n)));
+  }
+
+  uint64_t lower_bytes(const ImplicitTree& t, NodeId n) const {
+    double frac = settings_.lower_at(n.height, t.height());
+    return static_cast<uint64_t>(frac *
+                                 static_cast<double>(region_capacity(t, n)));
+  }
+
+  uint64_t count_bytes(uint64_t leaf_lo, uint64_t leaf_hi) const {
+    uint64_t total = 0;
+    for (uint64_t l = leaf_lo; l < leaf_hi; ++l) {
+      total += Leaf::used_bytes(leaf_ptr(l), leaf_bytes_);
+    }
+    return total;
+  }
+
+  // ---- point-update rebalancing ---------------------------------------------
+
+  void rebalance_insert(uint64_t leaf) {
+    ImplicitTree tree(num_leaves_);
+    NodeId node = tree.leaf_node(leaf);
+    uint64_t used = Leaf::used_bytes(leaf_ptr(leaf), leaf_bytes_);
+    if (used <= upper_bytes(tree, node)) return;
+    while (true) {
+      if (tree.is_root(node)) {
+        resize_rebuild(/*growing=*/true);
+        return;
+      }
+      node = node.parent();
+      used = count_bytes(tree.region_begin(node), tree.region_end(node));
+      if (used <= upper_bytes(tree, node)) break;
+    }
+    redistribute_serial(tree, node);
+  }
+
+  void rebalance_remove(uint64_t leaf) {
+    ImplicitTree tree(num_leaves_);
+    NodeId node = tree.leaf_node(leaf);
+    uint64_t used = Leaf::used_bytes(leaf_ptr(leaf), leaf_bytes_);
+    if (used >= lower_bytes(tree, node)) return;
+    while (true) {
+      if (tree.is_root(node)) {
+        resize_rebuild(/*growing=*/false);
+        return;
+      }
+      node = node.parent();
+      used = count_bytes(tree.region_begin(node), tree.region_end(node));
+      if (used >= lower_bytes(tree, node)) break;
+    }
+    redistribute_serial(tree, node);
+  }
+
+  void redistribute_serial(const ImplicitTree& tree, NodeId node) {
+    uint64_t lo = tree.region_begin(node), hi = tree.region_end(node);
+    std::vector<key_type> keys;
+    for (uint64_t l = lo; l < hi; ++l) {
+      Leaf::decode_append(leaf_ptr(l), leaf_bytes_, keys);
+    }
+    spread(lo, hi, keys.data(), keys.size());
+    update_head_index(lo, hi);
+  }
+
+  // ---- spread (the redistribute primitive) ----------------------------------
+  // Writes keys[0..n) into leaves [lo, hi), equalizing BYTE densities: the
+  // paper's redistribution "spreads the elements evenly" — with compression,
+  // evenly in encoded bytes. Parallel: per-key costs, prefix sums, split by
+  // byte budget, write each leaf independently.
+  void spread(uint64_t lo, uint64_t hi, const key_type* keys, uint64_t n);
+
+  // Per-key incremental encoded cost used by spread.
+  static uint64_t key_cost(key_type prev, key_type key, bool first);
+
+  // Parallel equivalent of Leaf::encoded_size (a serial pass over millions
+  // of keys otherwise shows up in every resize).
+  static uint64_t stream_size_parallel(const key_type* keys, uint64_t n) {
+    if (n == 0) return 0;
+    if (n < 8192) return Leaf::encoded_size(keys, n);
+    return 8 + par::parallel_sum<uint64_t>(1, n, [&](uint64_t i) {
+             return key_cost(keys[i - 1], keys[i], false);
+           });
+  }
+
+  // ---- resize ----------------------------------------------------------------
+
+  kvec pack_all() const;
+  void rebuild_into(uint64_t new_total_bytes, const kvec& keys);
+  uint64_t choose_total_bytes(uint64_t stream_bytes) const;
+  void resize_rebuild(bool growing);
+
+  // ---- batch machinery (pma_batch.hpp) ---------------------------------------
+
+  struct Overflow {
+    uint64_t leaf;
+    std::vector<key_type> keys;  // full merged content of the leaf
+    uint64_t bytes;              // true encoded size
+  };
+
+  // (leaf, bytes-after-merge): the merge phase hands its byte counts to the
+  // counting phase so level-0 seeding never rescans leaves.
+  struct TouchedLeaf {
+    uint64_t leaf;
+    uint64_t bytes;
+    bool operator<(const TouchedLeaf& o) const { return leaf < o.leaf; }
+  };
+
+  // Reusable per-worker scratch for leaf merges (avoids two heap
+  // allocations per touched leaf).
+  struct MergeScratch {
+    std::vector<key_type> existing;
+    std::vector<key_type> merged;
+  };
+
+  struct BatchContext {
+    par::WorkerLocal<std::vector<TouchedLeaf>> touched;
+    par::WorkerLocal<std::vector<Overflow>> overflows;
+    par::WorkerLocal<uint64_t> delta;  // keys added (insert) or removed
+    par::WorkerLocal<MergeScratch> scratch;
+    std::unordered_map<uint64_t, const Overflow*> overflow_at;
+  };
+
+  void merge_recurse(const key_type* batch, uint64_t lo, uint64_t hi,
+                     BatchContext& ctx);
+  // Serial base case of the merge recursion: routes batch[lo..hi) leaf by
+  // leaf. The recursion guarantees the slice's leaf range is disjoint from
+  // every other task's.
+  template <bool IsInsert>
+  void merge_slice_serial(const key_type* batch, uint64_t lo, uint64_t hi,
+                          BatchContext& ctx);
+  void merge_into_leaf(uint64_t leaf, const key_type* keys, uint64_t k,
+                       BatchContext& ctx);
+  void remove_merge_recurse(const key_type* batch, uint64_t lo, uint64_t hi,
+                            BatchContext& ctx);
+  void remove_from_leaf(uint64_t leaf, const key_type* keys, uint64_t k,
+                        BatchContext& ctx);
+
+  uint64_t leaf_bytes_aware(uint64_t leaf, const BatchContext& ctx) const;
+
+  // Work-efficient counting phase; fills `roots` with the maximal nodes to
+  // redistribute. Returns false if the root's bound is violated (caller must
+  // resize-rebuild).
+  bool counting_phase(const std::vector<TouchedLeaf>& touched_leaves,
+                      BatchContext& ctx, bool is_insert,
+                      std::vector<NodeId>* roots);
+
+  // Incremental head-index repair after a batch: only leaves that were
+  // merged into or covered by a redistribution region can have changed
+  // heads (full-array rebuilds are O(num_leaves), which would dominate
+  // small batches).
+  void update_index_after_batch(const std::vector<TouchedLeaf>& touched_sorted,
+                                const std::vector<NodeId>& roots) {
+    ImplicitTree tree(num_leaves_);
+    std::vector<std::pair<uint64_t, uint64_t>> intervals;
+    intervals.reserve(roots.size() + touched_sorted.size());
+    for (NodeId r : roots) {
+      intervals.emplace_back(tree.region_begin(r), tree.region_end(r));
+    }
+    for (const TouchedLeaf& t : touched_sorted) {
+      intervals.emplace_back(t.leaf, t.leaf + 1);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    uint64_t covered = 0;
+    for (auto [lo, hi] : intervals) {
+      if (hi <= covered) continue;
+      update_head_index(std::max(lo, covered), hi);
+      covered = hi;
+    }
+  }
+
+  void redistribute_parallel(const std::vector<NodeId>& roots,
+                             BatchContext& ctx);
+
+  uint64_t insert_batch_merge(const key_type* batch, uint64_t n);
+  uint64_t insert_batch_rebuild(const key_type* batch, uint64_t n);
+  uint64_t remove_batch_merge(const key_type* batch, uint64_t n);
+  uint64_t remove_batch_rebuild(const key_type* batch, uint64_t n);
+
+  // ---- members ----------------------------------------------------------------
+
+  PmaSettings settings_;
+  util::uvector<uint8_t> data_;
+  size_t leaf_bytes_ = 0;
+  uint64_t num_leaves_ = 0;
+  uint64_t count_ = 0;
+  bool has_zero_ = false;
+  std::vector<key_type> head_index_;
+};
+
+}  // namespace cpma::pma
+
+#include "pma/pma_impl.hpp"  // IWYU pragma: keep

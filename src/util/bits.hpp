@@ -1,0 +1,28 @@
+// Small bit-manipulation helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <bit>
+
+namespace cpma::util {
+
+// Floor of log2(x); x must be nonzero.
+constexpr uint64_t log2_floor(uint64_t x) {
+  return 63u - static_cast<uint64_t>(std::countl_zero(x));
+}
+
+// Ceiling of log2(x); x must be nonzero. log2_ceil(1) == 0.
+constexpr uint64_t log2_ceil(uint64_t x) {
+  return (x <= 1) ? 0 : log2_floor(x - 1) + 1;
+}
+
+// Smallest power of two >= x (x >= 1).
+constexpr uint64_t next_pow2(uint64_t x) { return uint64_t{1} << log2_ceil(x); }
+
+constexpr bool is_pow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr uint64_t div_round_up(uint64_t a, uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace cpma::util

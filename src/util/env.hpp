@@ -1,0 +1,36 @@
+// Environment-variable knobs for the benchmark harnesses.
+//
+// The paper's experiments start from 100M-element structures on a 64-core
+// machine; the default sizes here are scaled so that every bench binary
+// finishes in seconds on a laptop-class box. Set CPMA_BENCH_SCALE (a
+// multiplier) or the specific knobs to approach paper scale.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace cpma::util {
+
+inline uint64_t env_u64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+// Global multiplier applied to benchmark base sizes.
+inline double bench_scale() { return env_double("CPMA_BENCH_SCALE", 1.0); }
+
+inline uint64_t scaled(uint64_t base) {
+  double s = bench_scale();
+  uint64_t v = static_cast<uint64_t>(static_cast<double>(base) * s);
+  return v == 0 ? 1 : v;
+}
+
+}  // namespace cpma::util

@@ -1,0 +1,80 @@
+#include "util/perf_counters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace cpma::util {
+namespace {
+
+int open_counter(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.inherit = 1;  // count across the worker threads too
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+uint64_t read_counter(int fd) {
+  uint64_t value = 0;
+  if (fd >= 0 && read(fd, &value, sizeof(value)) != sizeof(value)) value = 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  fd_l1_ = open_counter(
+      PERF_TYPE_HW_CACHE,
+      PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+          (PERF_COUNT_HW_CACHE_RESULT_MISS << 16));
+  fd_llc_ = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  available_ = fd_l1_ >= 0 && fd_llc_ >= 0;
+}
+
+PerfCounters::~PerfCounters() {
+  if (fd_l1_ >= 0) close(fd_l1_);
+  if (fd_llc_ >= 0) close(fd_llc_);
+}
+
+void PerfCounters::start() {
+  if (!available_) return;
+  ioctl(fd_l1_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(fd_llc_, PERF_EVENT_IOC_RESET, 0);
+  ioctl(fd_l1_, PERF_EVENT_IOC_ENABLE, 0);
+  ioctl(fd_llc_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+PerfSample PerfCounters::stop() {
+  PerfSample s;
+  if (!available_) return s;
+  ioctl(fd_l1_, PERF_EVENT_IOC_DISABLE, 0);
+  ioctl(fd_llc_, PERF_EVENT_IOC_DISABLE, 0);
+  s.l1d_misses = read_counter(fd_l1_);
+  s.llc_misses = read_counter(fd_llc_);
+  s.valid = true;
+  return s;
+}
+
+}  // namespace cpma::util
+
+#else  // !__linux__
+
+namespace cpma::util {
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::start() {}
+PerfSample PerfCounters::stop() { return {}; }
+}  // namespace cpma::util
+
+#endif

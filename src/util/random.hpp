@@ -1,0 +1,56 @@
+// Deterministic, cheap pseudo-random generators used by the workload
+// generators and tests. We avoid <random> engines in hot loops: the paper's
+// workloads (40-bit uniform keys, RMAT edges) need billions of draws and a
+// splittable, seekable stream so parallel generation stays deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace cpma::util {
+
+// SplitMix64: a high-quality 64-bit mixer. `hash64(i)` gives random-access
+// draws (draw i of a stream), which makes parallel workload generation
+// deterministic regardless of the worker schedule.
+constexpr uint64_t hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Sequential splitmix64 stream for when random access is not needed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return hash64_mix(state_);
+  }
+
+  // Uniform in [0, bound). Bias is negligible for bound << 2^64.
+  uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr uint64_t hash64_mix(uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  uint64_t state_;
+};
+
+// Draw i of a b-bit uniform key stream (keys are nonzero: key 0 is the
+// PMA's empty-cell sentinel, so generators avoid it).
+inline uint64_t uniform_key(uint64_t seed, uint64_t i, unsigned bits = 40) {
+  uint64_t mask = (bits >= 64) ? ~uint64_t{0} : ((uint64_t{1} << bits) - 1);
+  uint64_t k = hash64(seed ^ hash64(i)) & mask;
+  return k == 0 ? 1 : k;
+}
+
+}  // namespace cpma::util

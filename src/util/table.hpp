@@ -1,0 +1,44 @@
+// Minimal fixed-width table printer so each bench binary can emit rows shaped
+// like the paper's tables (throughputs in scientific notation, ratios with
+// one decimal).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cpma::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) std::printf("%*s", width_, h.c_str());
+    std::printf("\n");
+    for (size_t i = 0; i < headers_.size(); ++i)
+      for (int j = 0; j < width_; ++j) std::printf("-");
+    std::printf("\n");
+  }
+
+  void begin_row() const {}
+  void cell_str(const std::string& s) const {
+    std::printf("%*s", width_, s.c_str());
+  }
+  void cell_u64(uint64_t v) const { std::printf("%*llu", width_, (unsigned long long)v); }
+  // Scientific notation like the paper's "3.0E6".
+  void cell_sci(double v) const { std::printf("%*.1E", width_, v); }
+  void cell_ratio(double v) const { std::printf("%*.2f", width_, v); }
+  void cell_fixed(double v, int prec = 3) const {
+    std::printf("%*.*f", width_, prec, v);
+  }
+  void end_row() const { std::printf("\n"); }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+}  // namespace cpma::util

@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cpma::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Runs f() `trials` times after `warmup` warmup runs and returns the mean
+// wall-clock seconds — matching the paper's "average of 10 trials after a
+// single warm up trial" protocol (scaled down via the harness knobs).
+template <typename F>
+double time_trials(F&& f, int trials = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) f();
+  double total = 0;
+  for (int i = 0; i < trials; ++i) {
+    Timer t;
+    f();
+    total += t.elapsed_seconds();
+  }
+  return total / trials;
+}
+
+}  // namespace cpma::util

@@ -1,0 +1,44 @@
+// A std::vector that default-initializes (i.e. leaves POD memory
+// uninitialized) instead of value-initializing.
+//
+// Why: `std::vector<uint64_t> v(n)` zero-fills n*8 bytes serially before the
+// parallel phase overwrites them. For the multi-megabyte scratch buffers of
+// the batch paths that serial memset (plus the page faults it takes on one
+// thread) dominated the measured runtime. `uvector` defers the first touch
+// to the parallel writers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace cpma::util {
+
+template <typename T, typename A = std::allocator<T>>
+class default_init_allocator : public A {
+  using traits = std::allocator_traits<A>;
+
+ public:
+  template <typename U>
+  struct rebind {
+    using other =
+        default_init_allocator<U, typename traits::template rebind_alloc<U>>;
+  };
+
+  using A::A;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;  // default-init: no zeroing for PODs
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    traits::construct(static_cast<A&>(*this), ptr,
+                      std::forward<Args>(args)...);
+  }
+};
+
+template <typename T>
+using uvector = std::vector<T, default_init_allocator<T>>;
+
+}  // namespace cpma::util

@@ -1,0 +1,72 @@
+// Zipfian key generator following the YCSB construction (Gray et al.'s
+// rejection-free inverse-CDF approximation). The paper draws 34-bit keys with
+// skew alpha = 0.99 "parameter taken from the YCSB" for the skewed
+// batch-insert experiments (Table 5, Fig. 11 / Table 13).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/random.hpp"
+
+namespace cpma::util {
+
+class ZipfGenerator {
+ public:
+  // Generates ranks in [0, n) with P(rank = r) proportional to 1/(r+1)^theta,
+  // then scatters ranks over the key space so hot keys are not clustered
+  // (YCSB's "scrambled zipfian").
+  ZipfGenerator(uint64_t n, double theta = 0.99, uint64_t seed = 0)
+      : n_(n), theta_(theta), seed_(seed) {
+    zetan_ = zeta(n_, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  // Draw i of the stream; random-access like uniform_key so parallel
+  // generation is deterministic.
+  uint64_t rank(uint64_t i) const {
+    double u =
+        static_cast<double>(hash64(seed_ ^ hash64(i)) >> 11) * 0x1.0p-53;
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    double r = static_cast<double>(n_) *
+               std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    uint64_t rr = static_cast<uint64_t>(r);
+    return rr >= n_ ? n_ - 1 : rr;
+  }
+
+  // Scrambled zipfian key in [1, 2^bits): hot ranks hash to scattered keys.
+  uint64_t key(uint64_t i, unsigned bits = 34) const {
+    uint64_t mask = (uint64_t{1} << bits) - 1;
+    uint64_t k = hash64(rank(i) * 0x9e3779b97f4a7c15ULL) & mask;
+    return k == 0 ? 1 : k;
+  }
+
+ private:
+  static double zeta(uint64_t n, double theta) {
+    // Direct summation is fine here: we only evaluate it at construction.
+    // For very large n use the integral approximation to bound the cost.
+    if (n <= (1 << 20)) {
+      double sum = 0;
+      for (uint64_t i = 1; i <= n; ++i) sum += std::pow(1.0 / i, theta);
+      return sum;
+    }
+    double head = zeta(1 << 20, theta);
+    // integral_{2^20}^{n} x^-theta dx
+    double a = 1.0 - theta;
+    double tail =
+        (std::pow(static_cast<double>(n), a) - std::pow(1048576.0, a)) / a;
+    return head + tail;
+  }
+
+  uint64_t n_;
+  double theta_;
+  uint64_t seed_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+}  // namespace cpma::util

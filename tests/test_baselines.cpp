@@ -1,0 +1,279 @@
+// Tests for the comparator data structures: P-tree (PAM-like), PaC-trees
+// (U-PaC / C-PaC), and the serial RMA-like batch baseline — all validated
+// against std::set on the same operation mixes as the PMA tests.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "baselines/pactree.hpp"
+#include "baselines/ptree.hpp"
+#include "pma/cpma.hpp"
+#include "util/random.hpp"
+
+using cpma::baselines::CPacTree;
+using cpma::baselines::PTree;
+using cpma::baselines::UPacTree;
+using cpma::util::Rng;
+
+// ---------------------------------------------------------------------------
+// PTree
+// ---------------------------------------------------------------------------
+
+TEST(PTree, PointOpsAgainstReference) {
+  PTree t;
+  std::set<uint64_t> ref;
+  Rng r(1);
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t k = r.next() % 4000;
+    if (r.next() % 3 != 0) {
+      EXPECT_EQ(t.insert(k), ref.insert(k).second);
+    } else {
+      EXPECT_EQ(t.remove(k), ref.erase(k) == 1);
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  EXPECT_TRUE(t.check_invariants());
+  std::vector<uint64_t> got, want(ref.begin(), ref.end());
+  t.map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(PTree, BatchInsertCountsNewKeysOnly) {
+  PTree t;
+  std::vector<uint64_t> a{1, 2, 3, 4, 5};
+  EXPECT_EQ(t.insert_batch(a.data(), a.size()), 5u);
+  std::vector<uint64_t> b{4, 5, 6, 6, 7};
+  EXPECT_EQ(t.insert_batch(b.data(), b.size()), 2u);
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PTree, LargeBatchesMatchReference) {
+  PTree t;
+  std::set<uint64_t> ref;
+  Rng r(2);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<uint64_t> batch(50000);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+    for (uint64_t k : batch) ref.insert(k);
+    t.insert_batch(batch.data(), batch.size());
+    ASSERT_EQ(t.size(), ref.size()) << "round " << round;
+  }
+  EXPECT_TRUE(t.check_invariants());
+  std::vector<uint64_t> got, want(ref.begin(), ref.end());
+  t.map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(PTree, BatchRemove) {
+  PTree t;
+  Rng r(3);
+  std::vector<uint64_t> base(100000);
+  for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+  t.insert_batch(base.data(), base.size());
+  std::set<uint64_t> ref;
+  t.map([&](uint64_t k) { ref.insert(k); });
+  std::vector<uint64_t> rm;
+  auto it = ref.begin();
+  for (int i = 0; i < 5000 && it != ref.end(); ++i, std::advance(it, 13)) {
+    rm.push_back(*it);
+  }
+  size_t present = rm.size();
+  rm.push_back(123456789ull << 20);  // absent
+  EXPECT_EQ(t.remove_batch(rm.data(), rm.size()), present);
+  for (size_t i = 0; i < present; ++i) ref.erase(rm[i]);
+  EXPECT_EQ(t.size(), ref.size());
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(PTree, MapRangeAndLength) {
+  PTree t;
+  for (uint64_t i = 1; i <= 100; ++i) t.insert(i * 10);
+  std::vector<uint64_t> got;
+  t.map_range([&](uint64_t k) { got.push_back(k); }, 95, 305);
+  std::vector<uint64_t> want;
+  for (uint64_t i = 10; i <= 30; ++i) want.push_back(i * 10);
+  EXPECT_EQ(got, want);
+  got.clear();
+  uint64_t applied =
+      t.map_range_length([&](uint64_t k) { got.push_back(k); }, 95, 4);
+  EXPECT_EQ(applied, 4u);
+  EXPECT_EQ(got, (std::vector<uint64_t>{100, 110, 120, 130}));
+}
+
+TEST(PTree, SpaceIs32BytesPerElement) {
+  PTree t;
+  std::vector<uint64_t> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i * 3 + 1;
+  t.insert_batch(keys.data(), keys.size());
+  EXPECT_NEAR(static_cast<double>(t.get_size()) / t.size(), 32.0, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// PaC-trees (typed over compression)
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class PacTreeTest : public ::testing::Test {};
+
+using PacTypes = ::testing::Types<UPacTree, CPacTree>;
+TYPED_TEST_SUITE(PacTreeTest, PacTypes);
+
+TYPED_TEST(PacTreeTest, EmptyTree) {
+  TypeParam t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.has(1));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TYPED_TEST(PacTreeTest, PointOpsAgainstReference) {
+  TypeParam t;
+  std::set<uint64_t> ref;
+  Rng r(4);
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t k = 1 + r.next() % 3000;
+    if (r.next() % 3 != 0) {
+      EXPECT_EQ(t.insert(k), ref.insert(k).second);
+    } else {
+      EXPECT_EQ(t.remove(k), ref.erase(k) == 1);
+    }
+  }
+  EXPECT_EQ(t.size(), ref.size());
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TYPED_TEST(PacTreeTest, BatchBuildAndLookups) {
+  TypeParam t;
+  Rng r(5);
+  std::vector<uint64_t> keys(200000);
+  for (auto& k : keys) k = 1 + (r.next() % (1ull << 40));
+  t.insert_batch(keys.data(), keys.size());
+  EXPECT_TRUE(t.check_invariants());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(t.has(keys[r.next() % keys.size()]));
+  }
+}
+
+TYPED_TEST(PacTreeTest, RepeatedBatchesMatchReference) {
+  TypeParam t;
+  std::set<uint64_t> ref;
+  Rng r(6);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<uint64_t> batch(30000);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 38));
+    for (uint64_t k : batch) ref.insert(k);
+    t.insert_batch(batch.data(), batch.size());
+    ASSERT_EQ(t.size(), ref.size());
+  }
+  EXPECT_TRUE(t.check_invariants());
+  std::vector<uint64_t> got, want(ref.begin(), ref.end());
+  t.map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, want);
+}
+
+TYPED_TEST(PacTreeTest, BatchRemoveMatchesReference) {
+  TypeParam t;
+  Rng r(7);
+  std::vector<uint64_t> base(150000);
+  for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+  t.insert_batch(base.data(), base.size());
+  std::set<uint64_t> ref;
+  t.map([&](uint64_t k) { ref.insert(k); });
+  std::vector<uint64_t> rm;
+  auto it = ref.begin();
+  for (int i = 0; i < 30000 && it != ref.end(); ++i, std::advance(it, 3)) {
+    rm.push_back(*it);
+  }
+  size_t present = rm.size();
+  EXPECT_EQ(t.remove_batch(rm.data(), rm.size()), present);
+  for (uint64_t k : rm) ref.erase(k);
+  EXPECT_EQ(t.size(), ref.size());
+  EXPECT_TRUE(t.check_invariants());
+  std::vector<uint64_t> got, want(ref.begin(), ref.end());
+  t.map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, want);
+}
+
+TYPED_TEST(PacTreeTest, RemoveEverything) {
+  TypeParam t;
+  std::vector<uint64_t> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = (i + 1) * 7;
+  t.insert_batch(keys.data(), keys.size());
+  EXPECT_EQ(t.remove_batch(keys.data(), keys.size()), keys.size());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_TRUE(t.insert(5));
+}
+
+TYPED_TEST(PacTreeTest, MapRange) {
+  TypeParam t;
+  std::vector<uint64_t> keys(5000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = (i + 1) * 2;
+  t.insert_batch(keys.data(), keys.size());
+  std::vector<uint64_t> got;
+  t.map_range([&](uint64_t k) { got.push_back(k); }, 101, 201);
+  std::vector<uint64_t> want;
+  for (uint64_t k = 102; k <= 200; k += 2) want.push_back(k);
+  EXPECT_EQ(got, want);
+  got.clear();
+  uint64_t applied =
+      t.map_range_length([&](uint64_t k) { got.push_back(k); }, 101, 3);
+  EXPECT_EQ(applied, 3u);
+  EXPECT_EQ(got, (std::vector<uint64_t>{102, 104, 106}));
+}
+
+// Compression: C-PaC should be much smaller than U-PaC on uniform keys.
+TEST(PacTreeSpace, CompressedSmallerThanUncompressed) {
+  UPacTree u;
+  CPacTree c;
+  Rng r(8);
+  std::vector<uint64_t> keys(300000);
+  for (auto& k : keys) k = 1 + (r.next() % (1ull << 40));
+  std::vector<uint64_t> ku = keys, kc = keys;
+  u.insert_batch(ku.data(), ku.size());
+  c.insert_batch(kc.data(), kc.size());
+  EXPECT_LT(c.get_size() * 3, u.get_size() * 2);  // at least 1.5x smaller
+}
+
+// ---------------------------------------------------------------------------
+// RMA-like serial batch baseline
+// ---------------------------------------------------------------------------
+
+TEST(RmaLikeBaseline, MatchesParallelBatchResults) {
+  cpma::PMA a, b;
+  Rng r(9);
+  std::vector<uint64_t> base(100000);
+  for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+  std::vector<uint64_t> ba = base, bb = base;
+  a.insert_batch(ba.data(), ba.size());
+  b.insert_batch_serial_baseline(bb.data(), bb.size());
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.sum(), b.sum());
+  std::string err;
+  EXPECT_TRUE(b.check_invariants(&err)) << err;
+}
+
+TEST(RmaLikeBaseline, RepeatedBatches) {
+  cpma::CPMA c;
+  std::set<uint64_t> ref;
+  Rng r(10);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<uint64_t> batch(20000);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+    for (uint64_t k : batch) ref.insert(k);
+    c.insert_batch_serial_baseline(batch.data(), batch.size());
+    ASSERT_EQ(c.size(), ref.size()) << round;
+  }
+  std::string err;
+  EXPECT_TRUE(c.check_invariants(&err)) << err;
+}
+
+TEST(RmaLikeBaseline, HandlesDuplicatesAndZeros) {
+  cpma::PMA p;
+  std::vector<uint64_t> batch{0, 0, 5, 5, 9};
+  EXPECT_EQ(p.insert_batch_serial_baseline(batch.data(), batch.size()), 3u);
+  EXPECT_TRUE(p.has(0));
+  EXPECT_TRUE(p.has(5));
+  EXPECT_EQ(p.size(), 3u);
+}

@@ -1,0 +1,124 @@
+// Tests for the varint byte codec and delta encoding: roundtrips across the
+// value-width spectrum, the no-zero-byte invariant the CPMA leaf format
+// relies on, and size accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codec/delta.hpp"
+#include "codec/varint.hpp"
+#include "util/random.hpp"
+
+namespace codec = cpma::codec;
+using cpma::util::Rng;
+
+class VarintWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VarintWidths, RoundtripAtBitBoundaries) {
+  unsigned bits = GetParam();
+  std::vector<uint64_t> probes;
+  uint64_t base = (bits == 64) ? ~uint64_t{0} : (uint64_t{1} << bits);
+  probes.push_back(base - 1);
+  probes.push_back(base == ~uint64_t{0} ? base : base);
+  if (base + 1 != 0) probes.push_back(base + 1);
+  for (uint64_t v : probes) {
+    uint8_t buf[codec::kMaxVarintBytes];
+    size_t n = codec::varint_encode(v, buf);
+    EXPECT_EQ(n, codec::varint_size(v));
+    uint64_t out;
+    EXPECT_EQ(codec::varint_decode(buf, &out), n);
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(codec::varint_skip(buf), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, VarintWidths,
+                         ::testing::Values(1u, 7u, 8u, 14u, 21u, 28u, 35u,
+                                           42u, 49u, 56u, 63u, 64u));
+
+TEST(Varint, SizeSteps) {
+  EXPECT_EQ(codec::varint_size(0), 1u);
+  EXPECT_EQ(codec::varint_size(127), 1u);
+  EXPECT_EQ(codec::varint_size(128), 2u);
+  EXPECT_EQ(codec::varint_size(16383), 2u);
+  EXPECT_EQ(codec::varint_size(16384), 3u);
+  EXPECT_EQ(codec::varint_size(~uint64_t{0}), 10u);
+}
+
+TEST(Varint, NonzeroValuesNeverEncodeALeadingZeroByte) {
+  // The CPMA leaf format uses 0x00 as the end-of-stream marker; any v >= 1
+  // must encode with no 0x00 byte anywhere.
+  Rng r(5);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = (r.next() >> (r.next() % 60)) | 1;
+    uint8_t buf[codec::kMaxVarintBytes];
+    size_t n = codec::varint_encode(v, buf);
+    for (size_t j = 0; j < n; ++j) EXPECT_NE(buf[j], 0) << "v=" << v;
+  }
+}
+
+TEST(Varint, RandomRoundtrip) {
+  Rng r(7);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = r.next() >> (r.next() % 64);
+    uint8_t buf[codec::kMaxVarintBytes];
+    size_t n = codec::varint_encode(v, buf);
+    uint64_t out;
+    EXPECT_EQ(codec::varint_decode(buf, &out), n);
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Varint, SequentialStreamDecode) {
+  // Encode a stream of values back to back and decode it.
+  Rng r(9);
+  std::vector<uint64_t> values(1000);
+  for (auto& v : values) v = r.next() >> (r.next() % 60);
+  std::vector<uint8_t> buf;
+  uint8_t tmp[codec::kMaxVarintBytes];
+  for (uint64_t v : values) {
+    size_t n = codec::varint_encode(v, tmp);
+    buf.insert(buf.end(), tmp, tmp + n);
+  }
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    uint64_t out;
+    pos += codec::varint_decode(buf.data() + pos, &out);
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Delta, EncodeDecodeRoundtrip) {
+  Rng r(11);
+  std::vector<uint64_t> keys(5000);
+  uint64_t cur = 0;
+  for (auto& k : keys) {
+    cur += 1 + (r.next() % 100000);
+    k = cur;
+  }
+  std::vector<uint8_t> buf;
+  codec::delta_encode_append(keys.data() + 1, keys.size() - 1, keys[0], buf);
+  EXPECT_EQ(buf.size(),
+            codec::delta_encoded_size(keys.data() + 1, keys.size() - 1,
+                                      keys[0]));
+  std::vector<uint64_t> out{keys[0]};
+  codec::delta_decode_append(buf.data(), buf.size(), keys[0], out);
+  EXPECT_EQ(out, keys);
+}
+
+TEST(Delta, DenseKeysCompressWell) {
+  // Consecutive keys have delta 1 => 1 byte each vs 8 uncompressed.
+  std::vector<uint64_t> keys(1000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = 1000 + i;
+  size_t sz =
+      codec::delta_encoded_size(keys.data() + 1, keys.size() - 1, keys[0]);
+  EXPECT_EQ(sz, keys.size() - 1);
+}
+
+TEST(Delta, EmptyRange) {
+  std::vector<uint8_t> buf;
+  codec::delta_encode_append(nullptr, 0, 42, buf);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(codec::delta_encoded_size(nullptr, 0, 42), 0u);
+}

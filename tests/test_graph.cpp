@@ -1,0 +1,235 @@
+// Tests for the graph containers: F-Graph (CPMA-backed), TreeGraph (C-PaC
+// analog), AspenGraph (functional chunks), and CSR — all checked for
+// identical adjacency structure against a reference adjacency-set build, on
+// generated RMAT and Erdős–Rényi inputs, through insert/remove batches.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/fgraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/tree_graphs.hpp"
+#include "util/random.hpp"
+
+using namespace cpma::graph;
+using cpma::util::Rng;
+
+namespace {
+
+// Reference adjacency built from edge keys.
+std::map<vertex_t, std::set<vertex_t>> reference_adj(
+    const std::vector<uint64_t>& edges) {
+  std::map<vertex_t, std::set<vertex_t>> adj;
+  for (uint64_t e : edges) adj[edge_src(e)].insert(edge_dst(e));
+  return adj;
+}
+
+template <typename G>
+void expect_matches_reference(G& g,
+                              const std::map<vertex_t, std::set<vertex_t>>& ref,
+                              vertex_t n) {
+  g.prepare();
+  for (vertex_t v = 0; v < n; ++v) {
+    std::vector<vertex_t> got;
+    g.map_neighbors(v, [&](vertex_t d) { got.push_back(d); });
+    std::sort(got.begin(), got.end());
+    auto it = ref.find(v);
+    std::vector<vertex_t> want;
+    if (it != ref.end()) want.assign(it->second.begin(), it->second.end());
+    ASSERT_EQ(got, want) << "vertex " << v;
+    ASSERT_EQ(g.degree(v), want.size()) << "degree of " << v;
+  }
+}
+
+std::vector<uint64_t> test_graph_edges(uint32_t scale, uint64_t m,
+                                       uint64_t seed) {
+  return symmetrize(rmat_edges(scale, m, seed));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+TEST(Generators, RmatDeterministicAndInRange) {
+  auto e1 = rmat_edges(10, 5000, 42);
+  auto e2 = rmat_edges(10, 5000, 42);
+  EXPECT_EQ(e1, e2);
+  for (uint64_t e : e1) {
+    EXPECT_LT(edge_src(e), 1u << 10);
+    EXPECT_LT(edge_dst(e), 1u << 10);
+  }
+}
+
+TEST(Generators, RmatIsSkewed) {
+  auto edges = rmat_edges(12, 100000, 7);
+  std::vector<uint64_t> deg(1 << 12, 0);
+  for (uint64_t e : edges) deg[edge_src(e)]++;
+  std::sort(deg.rbegin(), deg.rend());
+  // Top 1% of vertices should hold well above a uniform 1% share (with
+  // a=.5, b=c=.1 the source marginal is 0.6 per bit: top 1% ~ 4-5%).
+  uint64_t top = 0;
+  for (int i = 0; i < (1 << 12) / 100; ++i) top += deg[i];
+  EXPECT_GT(top, edges.size() * 3 / 100);
+}
+
+TEST(Generators, ErdosRenyiExpectedDegree) {
+  const uint32_t n = 2000;
+  const double p = 0.005;
+  auto edges = erdos_renyi_edges(n, p, 11);
+  double avg = static_cast<double>(edges.size()) / n;
+  EXPECT_NEAR(avg, n * p, n * p * 0.2);  // within 20%
+  for (uint64_t e : edges) {
+    EXPECT_NE(edge_src(e), edge_dst(e));
+    EXPECT_LT(edge_src(e), n);
+    EXPECT_LT(edge_dst(e), n);
+  }
+}
+
+TEST(Generators, SymmetrizeProducesBothDirectionsNoLoopsNoDups) {
+  std::vector<uint64_t> edges{edge_key(1, 2), edge_key(2, 1), edge_key(3, 3),
+                              edge_key(1, 2)};
+  auto sym = symmetrize(edges);
+  EXPECT_EQ(sym, (std::vector<uint64_t>{edge_key(1, 2), edge_key(2, 1)}));
+}
+
+// ---------------------------------------------------------------------------
+// Containers vs reference (typed)
+// ---------------------------------------------------------------------------
+
+template <typename G>
+class GraphContainerTest : public ::testing::Test {};
+
+using GraphTypes =
+    ::testing::Types<FGraph, FGraphUncompressed, CPacGraph, UPacGraph,
+                     AspenGraph>;
+TYPED_TEST_SUITE(GraphContainerTest, GraphTypes);
+
+TYPED_TEST(GraphContainerTest, BuildMatchesReference) {
+  const uint32_t scale = 10;
+  auto edges = test_graph_edges(scale, 20000, 1);
+  auto ref = reference_adj(edges);
+  TypeParam g(1 << scale, edges);
+  EXPECT_EQ(g.num_edges(), edges.size());
+  expect_matches_reference(g, ref, 1 << scale);
+}
+
+TYPED_TEST(GraphContainerTest, IncrementalBatchesMatchReference) {
+  const uint32_t scale = 9;
+  const vertex_t n = 1 << scale;
+  TypeParam g(n);
+  std::map<vertex_t, std::set<vertex_t>> ref;
+  for (int round = 0; round < 5; ++round) {
+    auto batch = symmetrize(rmat_edges(scale, 4000, 100 + round));
+    for (uint64_t e : batch) ref[edge_src(e)].insert(edge_dst(e));
+    g.insert_edges(batch);
+  }
+  expect_matches_reference(g, ref, n);
+}
+
+TYPED_TEST(GraphContainerTest, DuplicateInsertsAreIdempotent) {
+  const vertex_t n = 64;
+  TypeParam g(n);
+  std::vector<uint64_t> batch{edge_key(1, 2), edge_key(2, 1), edge_key(1, 3),
+                              edge_key(3, 1)};
+  uint64_t added1 = g.insert_edges(batch);
+  uint64_t added2 = g.insert_edges(batch);
+  EXPECT_EQ(added1, 4u);
+  EXPECT_EQ(added2, 0u);
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TYPED_TEST(GraphContainerTest, EmptyVerticesHaveNoNeighbors) {
+  TypeParam g(128);
+  std::vector<uint64_t> batch{edge_key(5, 6), edge_key(6, 5)};
+  g.insert_edges(batch);
+  g.prepare();
+  int count = 0;
+  g.map_neighbors(7, [&](vertex_t) { ++count; });
+  g.map_neighbors(0, [&](vertex_t) { ++count; });
+  g.map_neighbors(127, [&](vertex_t) { ++count; });
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(g.degree(7), 0u);
+}
+
+// Removal is supported by the PMA-backed and tree-backed graphs (Aspen-like
+// is insert-only here, as the paper's insert-throughput experiment uses).
+template <typename G>
+class GraphRemoveTest : public ::testing::Test {};
+
+using RemovableGraphs = ::testing::Types<FGraph, FGraphUncompressed,
+                                         CPacGraph, UPacGraph>;
+TYPED_TEST_SUITE(GraphRemoveTest, RemovableGraphs);
+
+TYPED_TEST(GraphRemoveTest, RemoveBatchesMatchReference) {
+  const uint32_t scale = 9;
+  const vertex_t n = 1 << scale;
+  auto edges = test_graph_edges(scale, 15000, 3);
+  auto ref = reference_adj(edges);
+  TypeParam g(n, edges);
+  // Remove every 3rd edge (symmetrized so the graph stays undirected).
+  std::vector<uint64_t> rm;
+  for (size_t i = 0; i < edges.size(); i += 3) rm.push_back(edges[i]);
+  rm = symmetrize(rm);
+  for (uint64_t e : rm) {
+    auto it = ref.find(edge_src(e));
+    if (it != ref.end()) it->second.erase(edge_dst(e));
+  }
+  g.remove_edges(rm);
+  expect_matches_reference(g, ref, n);
+}
+
+// ---------------------------------------------------------------------------
+// F-Graph specifics
+// ---------------------------------------------------------------------------
+
+TEST(FGraph, HasEdge) {
+  auto edges = test_graph_edges(8, 2000, 4);
+  FGraph g(1 << 8, edges);
+  std::set<uint64_t> set(edges.begin(), edges.end());
+  Rng r(5);
+  for (int i = 0; i < 2000; ++i) {
+    vertex_t u = r.next() % 256, v = r.next() % 256;
+    EXPECT_EQ(g.has_edge(u, v), set.count(edge_key(u, v)) == 1);
+  }
+}
+
+TEST(FGraph, IndexAndNoIndexPathsAgree) {
+  auto edges = test_graph_edges(9, 10000, 6);
+  FGraph g(1 << 9, edges);
+  g.prepare();
+  for (vertex_t v = 0; v < (1 << 9); ++v) {
+    std::vector<vertex_t> a, b;
+    g.map_neighbors(v, [&](vertex_t d) { a.push_back(d); });
+    g.map_neighbors_noindex(v, [&](vertex_t d) { b.push_back(d); });
+    ASSERT_EQ(a, b) << "vertex " << v;
+  }
+}
+
+TEST(FGraph, CsrMatchesFGraph) {
+  auto edges = test_graph_edges(9, 10000, 8);
+  FGraph g(1 << 9, edges);
+  Csr csr(1 << 9, edges);
+  g.prepare();
+  for (vertex_t v = 0; v < (1 << 9); ++v) {
+    std::vector<vertex_t> a, b;
+    g.map_neighbors(v, [&](vertex_t d) { a.push_back(d); });
+    csr.map_neighbors(v, [&](vertex_t d) { b.push_back(d); });
+    ASSERT_EQ(a, b);
+  }
+}
+
+TEST(FGraph, SpaceSmallerThanTreeGraphs) {
+  auto edges = test_graph_edges(12, 200000, 9);
+  FGraph f(1 << 12, edges);
+  CPacGraph c(1 << 12, edges);
+  AspenGraph a(1 << 12, edges);
+  // Paper Table 7: F-Graph <= C-PaC < Aspen (F/A ~ 0.6).
+  EXPECT_LT(f.get_size(), a.get_size());
+  EXPECT_LT(static_cast<double>(f.get_size()),
+            static_cast<double>(a.get_size()) * 0.85);
+}

@@ -1,0 +1,235 @@
+// Typed tests exercising both leaf policies (uncompressed and compressed)
+// through the same scenarios: insert/remove/lookup against a reference
+// std::set, encode/decode roundtrips, cursor iteration, and the policy
+// invariants the engine relies on (byte accounting, zero-fill tails).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "pma/leaf_compressed.hpp"
+#include "pma/leaf_uncompressed.hpp"
+#include "util/random.hpp"
+
+using cpma::util::Rng;
+namespace pma = cpma::pma;
+
+template <typename Policy>
+class LeafTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kCap = 512;
+  std::vector<uint8_t> buf_ = std::vector<uint8_t>(kCap, 0);
+  uint8_t* leaf() { return buf_.data(); }
+
+  std::vector<uint64_t> decode() {
+    std::vector<uint64_t> out;
+    Policy::decode_append(leaf(), kCap, out);
+    return out;
+  }
+
+  // The engine's invariant: all bytes past used_bytes are zero.
+  void expect_zero_tail() {
+    size_t used = Policy::used_bytes(leaf(), kCap);
+    for (size_t i = used; i < kCap; ++i) {
+      ASSERT_EQ(buf_[i], 0) << "dirty byte at " << i << " used=" << used;
+    }
+  }
+};
+
+using Policies = ::testing::Types<pma::UncompressedLeaf, pma::CompressedLeaf>;
+TYPED_TEST_SUITE(LeafTest, Policies);
+
+TYPED_TEST(LeafTest, EmptyLeaf) {
+  EXPECT_EQ(TypeParam::used_bytes(this->leaf(), this->kCap), 0u);
+  EXPECT_EQ(TypeParam::element_count(this->leaf(), this->kCap), 0u);
+  EXPECT_EQ(TypeParam::head(this->leaf()), 0u);
+  EXPECT_FALSE(TypeParam::contains(this->leaf(), this->kCap, 5));
+  EXPECT_FALSE(TypeParam::lower_bound(this->leaf(), this->kCap, 5).has_value());
+  EXPECT_TRUE(this->decode().empty());
+}
+
+TYPED_TEST(LeafTest, SingleInsert) {
+  EXPECT_TRUE(TypeParam::insert(this->leaf(), this->kCap, 42));
+  EXPECT_EQ(TypeParam::head(this->leaf()), 42u);
+  EXPECT_EQ(TypeParam::element_count(this->leaf(), this->kCap), 1u);
+  EXPECT_TRUE(TypeParam::contains(this->leaf(), this->kCap, 42));
+  EXPECT_FALSE(TypeParam::contains(this->leaf(), this->kCap, 41));
+  EXPECT_FALSE(TypeParam::insert(this->leaf(), this->kCap, 42));  // dup
+  this->expect_zero_tail();
+}
+
+TYPED_TEST(LeafTest, InsertBelowHeadMovesHead) {
+  ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, 100));
+  ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, 50));
+  EXPECT_EQ(TypeParam::head(this->leaf()), 50u);
+  EXPECT_EQ(this->decode(), (std::vector<uint64_t>{50, 100}));
+  this->expect_zero_tail();
+}
+
+TYPED_TEST(LeafTest, InsertMiddleAndAppend) {
+  for (uint64_t k : {10, 30, 20, 40, 35}) {
+    ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, k));
+  }
+  EXPECT_EQ(this->decode(), (std::vector<uint64_t>{10, 20, 30, 35, 40}));
+  this->expect_zero_tail();
+}
+
+TYPED_TEST(LeafTest, RemoveHeadMiddleLastOnly) {
+  for (uint64_t k : {10, 20, 30, 40}) {
+    ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, k));
+  }
+  EXPECT_TRUE(TypeParam::remove(this->leaf(), this->kCap, 10));  // head
+  EXPECT_EQ(this->decode(), (std::vector<uint64_t>{20, 30, 40}));
+  EXPECT_TRUE(TypeParam::remove(this->leaf(), this->kCap, 30));  // middle
+  EXPECT_EQ(this->decode(), (std::vector<uint64_t>{20, 40}));
+  EXPECT_TRUE(TypeParam::remove(this->leaf(), this->kCap, 40));  // last
+  EXPECT_EQ(this->decode(), (std::vector<uint64_t>{20}));
+  EXPECT_TRUE(TypeParam::remove(this->leaf(), this->kCap, 20));  // only
+  EXPECT_EQ(TypeParam::element_count(this->leaf(), this->kCap), 0u);
+  this->expect_zero_tail();
+}
+
+TYPED_TEST(LeafTest, RemoveAbsentKeys) {
+  for (uint64_t k : {10, 20, 30}) {
+    ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, k));
+  }
+  EXPECT_FALSE(TypeParam::remove(this->leaf(), this->kCap, 5));
+  EXPECT_FALSE(TypeParam::remove(this->leaf(), this->kCap, 25));
+  EXPECT_FALSE(TypeParam::remove(this->leaf(), this->kCap, 99));
+  EXPECT_EQ(this->decode(), (std::vector<uint64_t>{10, 20, 30}));
+}
+
+TYPED_TEST(LeafTest, LowerBound) {
+  for (uint64_t k : {10, 20, 30}) {
+    ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, k));
+  }
+  EXPECT_EQ(TypeParam::lower_bound(this->leaf(), this->kCap, 5).value(), 10u);
+  EXPECT_EQ(TypeParam::lower_bound(this->leaf(), this->kCap, 10).value(), 10u);
+  EXPECT_EQ(TypeParam::lower_bound(this->leaf(), this->kCap, 11).value(), 20u);
+  EXPECT_EQ(TypeParam::lower_bound(this->leaf(), this->kCap, 30).value(), 30u);
+  EXPECT_FALSE(TypeParam::lower_bound(this->leaf(), this->kCap, 31).has_value());
+}
+
+TYPED_TEST(LeafTest, WriteRoundtripAndSizeAccounting) {
+  std::vector<uint64_t> keys{5, 9, 100, 10000, 1000000, (1ull << 40) + 3};
+  size_t need = TypeParam::encoded_size(keys.data(), keys.size());
+  ASSERT_LE(need, this->kCap);
+  TypeParam::write(this->leaf(), this->kCap, keys.data(), keys.size());
+  EXPECT_EQ(TypeParam::used_bytes(this->leaf(), this->kCap), need);
+  EXPECT_EQ(this->decode(), keys);
+  this->expect_zero_tail();
+}
+
+TYPED_TEST(LeafTest, WriteEmptyClearsLeaf) {
+  ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, 7));
+  TypeParam::write(this->leaf(), this->kCap, nullptr, 0);
+  EXPECT_EQ(TypeParam::element_count(this->leaf(), this->kCap), 0u);
+  this->expect_zero_tail();
+}
+
+TYPED_TEST(LeafTest, SumLastMap) {
+  std::vector<uint64_t> keys{3, 14, 159, 2653};
+  TypeParam::write(this->leaf(), this->kCap, keys.data(), keys.size());
+  EXPECT_EQ(TypeParam::sum_leaf(this->leaf(), this->kCap), 3u + 14 + 159 + 2653);
+  EXPECT_EQ(TypeParam::last(this->leaf(), this->kCap), 2653u);
+  std::vector<uint64_t> seen;
+  bool finished = TypeParam::map(this->leaf(), this->kCap, [&](uint64_t k) {
+    seen.push_back(k);
+    return true;
+  });
+  EXPECT_TRUE(finished);
+  EXPECT_EQ(seen, keys);
+}
+
+TYPED_TEST(LeafTest, MapEarlyStop) {
+  std::vector<uint64_t> keys{1, 2, 3, 4, 5};
+  TypeParam::write(this->leaf(), this->kCap, keys.data(), keys.size());
+  int count = 0;
+  bool finished = TypeParam::map(this->leaf(), this->kCap, [&](uint64_t) {
+    return ++count < 3;
+  });
+  EXPECT_FALSE(finished);
+  EXPECT_EQ(count, 3);
+}
+
+TYPED_TEST(LeafTest, CursorIteration) {
+  std::vector<uint64_t> keys{11, 22, 33, 44};
+  TypeParam::write(this->leaf(), this->kCap, keys.data(), keys.size());
+  typename TypeParam::Cursor cur;
+  ASSERT_TRUE(TypeParam::cursor_begin(this->leaf(), this->kCap, cur));
+  std::vector<uint64_t> seen{cur.value};
+  while (TypeParam::cursor_next(this->leaf(), this->kCap, cur)) {
+    seen.push_back(cur.value);
+  }
+  EXPECT_EQ(seen, keys);
+}
+
+TYPED_TEST(LeafTest, CursorOnEmptyLeaf) {
+  typename TypeParam::Cursor cur;
+  EXPECT_FALSE(TypeParam::cursor_begin(this->leaf(), this->kCap, cur));
+}
+
+TYPED_TEST(LeafTest, RandomizedAgainstStdSet) {
+  Rng r(77);
+  std::set<uint64_t> ref;
+  // Keep the population small enough that everything fits in one leaf.
+  const uint64_t key_space = 40;
+  for (int step = 0; step < 4000; ++step) {
+    uint64_t key = 1 + r.next() % key_space;
+    if (r.next() % 2 == 0) {
+      bool inserted = TypeParam::insert(this->leaf(), this->kCap, key);
+      EXPECT_EQ(inserted, ref.insert(key).second);
+    } else {
+      bool removed = TypeParam::remove(this->leaf(), this->kCap, key);
+      EXPECT_EQ(removed, ref.erase(key) == 1);
+    }
+    if (step % 256 == 0) {
+      std::vector<uint64_t> want(ref.begin(), ref.end());
+      ASSERT_EQ(this->decode(), want);
+      this->expect_zero_tail();
+    }
+  }
+}
+
+TYPED_TEST(LeafTest, LargeKeysNearUint64Max) {
+  std::vector<uint64_t> keys{~uint64_t{0} - 1000, ~uint64_t{0} - 10,
+                             ~uint64_t{0}};
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, k));
+  }
+  EXPECT_EQ(this->decode(), keys);
+  EXPECT_TRUE(TypeParam::contains(this->leaf(), this->kCap, ~uint64_t{0}));
+}
+
+// Compressed-leaf-specific size behaviour.
+TEST(CompressedLeafOnly, DenseKeysUseOneBytePerDelta) {
+  std::vector<uint8_t> buf(512, 0);
+  std::vector<uint64_t> keys(100);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = 1000 + i;
+  pma::CompressedLeaf::write(buf.data(), buf.size(), keys.data(), keys.size());
+  // head (8 bytes) + 99 one-byte deltas.
+  EXPECT_EQ(pma::CompressedLeaf::used_bytes(buf.data(), buf.size()),
+            8u + 99u);
+}
+
+TEST(CompressedLeafOnly, InsertNeverGrowsMoreThanSlack) {
+  // Worst-case single-insert growth must stay within kLeafSlack-ish bounds;
+  // this protects the engine's placement precondition.
+  std::vector<uint8_t> buf(512, 0);
+  std::vector<uint64_t> keys{1ull << 62, (1ull << 62) + (1ull << 40)};
+  pma::CompressedLeaf::write(buf.data(), buf.size(), keys.data(), keys.size());
+  size_t before = pma::CompressedLeaf::used_bytes(buf.data(), buf.size());
+  ASSERT_TRUE(pma::CompressedLeaf::insert(buf.data(), buf.size(),
+                                          (1ull << 62) + (1ull << 39)));
+  size_t after = pma::CompressedLeaf::used_bytes(buf.data(), buf.size());
+  EXPECT_LE(after - before, 19u);
+}
+
+TEST(UncompressedLeafOnly, FixedEightBytesPerElement) {
+  std::vector<uint8_t> buf(512, 0);
+  std::vector<uint64_t> keys{1, 1000, 1ull << 50};
+  pma::UncompressedLeaf::write(buf.data(), buf.size(), keys.data(),
+                               keys.size());
+  EXPECT_EQ(pma::UncompressedLeaf::used_bytes(buf.data(), buf.size()), 24u);
+}

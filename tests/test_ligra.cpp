@@ -1,0 +1,237 @@
+// Tests for the Ligra-style layer (VertexSubset / edge_map / vertex_map),
+// F-Graph's flat run-scan, and the algorithms on structured graphs with
+// analytically known answers (paths, stars, rings, cliques).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/fgraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/ligra.hpp"
+#include "graph/tree_graphs.hpp"
+
+using namespace cpma::graph;
+
+namespace {
+
+std::vector<uint64_t> path_graph(vertex_t n) {
+  std::vector<uint64_t> edges;
+  for (vertex_t v = 0; v + 1 < n; ++v) {
+    edges.push_back(edge_key(v, v + 1));
+  }
+  return symmetrize(edges);
+}
+
+std::vector<uint64_t> star_graph(vertex_t n) {  // hub = 0
+  std::vector<uint64_t> edges;
+  for (vertex_t v = 1; v < n; ++v) edges.push_back(edge_key(0, v));
+  return symmetrize(edges);
+}
+
+std::vector<uint64_t> clique_graph(vertex_t n) {
+  std::vector<uint64_t> edges;
+  for (vertex_t u = 0; u < n; ++u) {
+    for (vertex_t v = 0; v < n; ++v) {
+      if (u != v) edges.push_back(edge_key(u, v));
+    }
+  }
+  return symmetrize(edges);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// VertexSubset
+// ---------------------------------------------------------------------------
+
+TEST(VertexSubset, AddAndContains) {
+  VertexSubset s(100);
+  EXPECT_TRUE(s.empty());
+  s.add(5);
+  s.add(5);  // idempotent
+  s.add(99);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(6));
+}
+
+TEST(VertexSubset, FromVerticesDedupes) {
+  auto s = VertexSubset::from_vertices(10, {1, 2, 2, 3, 1});
+  EXPECT_EQ(s.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// edge_map semantics: BFS frontier expansion on a path.
+// ---------------------------------------------------------------------------
+
+TEST(EdgeMap, BfsOnPathVisitsLevelsInOrder) {
+  const vertex_t n = 64;
+  FGraph g(n, path_graph(n));
+  g.prepare();
+  std::vector<std::atomic<int>> depth(n);
+  for (auto& d : depth) d.store(-1);
+  depth[0] = 0;
+  VertexSubset frontier = VertexSubset::single(n, 0);
+  int level = 0;
+  while (!frontier.empty()) {
+    frontier = edge_map(
+        g, frontier,
+        [&](vertex_t, vertex_t v) {
+          int expected = -1;
+          return depth[v].compare_exchange_strong(expected, level + 1);
+        },
+        [&](vertex_t v) { return depth[v].load() == -1; });
+    ++level;
+  }
+  for (vertex_t v = 0; v < n; ++v) {
+    EXPECT_EQ(depth[v].load(), static_cast<int>(v)) << v;
+  }
+}
+
+TEST(EdgeMap, CondFiltersTargets) {
+  const vertex_t n = 16;
+  FGraph g(n, star_graph(n));
+  g.prepare();
+  VertexSubset frontier = VertexSubset::single(n, 0);
+  // Only even vertices pass cond.
+  auto next = edge_map(
+      g, frontier, [](vertex_t, vertex_t) { return true; },
+      [](vertex_t v) { return v % 2 == 0; });
+  for (vertex_t v : next.vertices()) EXPECT_EQ(v % 2, 0u);
+  EXPECT_EQ(next.size(), n / 2 - 1);  // even vertices except the hub itself
+}
+
+TEST(VertexMap, AppliesToAllFrontierVertices) {
+  VertexSubset s(100);
+  for (vertex_t v = 0; v < 50; ++v) s.add(v * 2);
+  std::atomic<uint64_t> total{0};
+  vertex_map(s, [&](vertex_t v) { total.fetch_add(v); });
+  EXPECT_EQ(total.load(), 2u * (49 * 50 / 2));
+}
+
+// ---------------------------------------------------------------------------
+// F-Graph flat run-scan agrees with per-vertex iteration.
+// ---------------------------------------------------------------------------
+
+TEST(RunScan, SumsMatchPerVertexIteration) {
+  auto edges = symmetrize(rmat_edges(10, 20000, 5));
+  FGraph g(1 << 10, edges);
+  g.prepare();
+  std::vector<std::atomic<uint64_t>> sums(1 << 10);
+  g.scan_neighbor_runs(
+      uint64_t{0}, [](vertex_t dst) { return uint64_t{dst}; },
+      [](uint64_t a, uint64_t b) { return a + b; },
+      [&](vertex_t src, uint64_t acc) {
+        sums[src].fetch_add(acc, std::memory_order_relaxed);
+      });
+  for (vertex_t v = 0; v < (1 << 10); ++v) {
+    uint64_t want = 0;
+    g.map_neighbors(v, [&](vertex_t d) { want += d; });
+    ASSERT_EQ(sums[v].load(), want) << "vertex " << v;
+  }
+}
+
+TEST(RunScan, MinReductionMatches) {
+  auto edges = symmetrize(rmat_edges(9, 8000, 6));
+  FGraph g(1 << 9, edges);
+  g.prepare();
+  std::vector<std::atomic<vertex_t>> mins(1 << 9);
+  for (auto& m : mins) m.store(~vertex_t{0});
+  g.scan_neighbor_runs(
+      ~vertex_t{0}, [](vertex_t dst) { return dst; },
+      [](vertex_t a, vertex_t b) { return a < b ? a : b; },
+      [&](vertex_t src, vertex_t m) {
+        vertex_t cur = mins[src].load();
+        while (m < cur && !mins[src].compare_exchange_weak(cur, m)) {
+        }
+      });
+  for (vertex_t v = 0; v < (1 << 9); ++v) {
+    vertex_t want = ~vertex_t{0};
+    g.map_neighbors(v, [&](vertex_t d) { want = std::min(want, d); });
+    ASSERT_EQ(mins[v].load(), want);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithms on graphs with known closed-form answers.
+// ---------------------------------------------------------------------------
+
+TEST(AlgosStructured, BcOnPathIsQuadraticProfile) {
+  // BC from endpoint 0 of a path: delta[v] counts the shortest paths from 0
+  // through v = (n-1-v) for interior vertices.
+  const vertex_t n = 32;
+  FGraph g(n, path_graph(n));
+  auto bc = betweenness_centrality(g, 0);
+  for (vertex_t v = 1; v + 1 < n; ++v) {
+    EXPECT_NEAR(bc[v], static_cast<double>(n - 1 - v), 1e-9) << v;
+  }
+  EXPECT_NEAR(bc[n - 1], 0.0, 1e-9);
+}
+
+TEST(AlgosStructured, BcOnStarHubCarriesAllPairs) {
+  const vertex_t n = 20;
+  FGraph g(n, star_graph(n));
+  auto bc = betweenness_centrality(g, 1);  // a leaf source
+  // From leaf 1, the hub lies on the shortest path to every other leaf.
+  EXPECT_NEAR(bc[0], static_cast<double>(n - 2), 1e-9);
+  for (vertex_t v = 2; v < n; ++v) EXPECT_NEAR(bc[v], 0.0, 1e-9);
+}
+
+TEST(AlgosStructured, PrOnCliqueIsUniform) {
+  const vertex_t n = 24;
+  FGraph g(n, clique_graph(n));
+  auto pr = pagerank(g);
+  for (vertex_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(pr[v], 1.0 / n, 1e-12) << v;
+  }
+}
+
+TEST(AlgosStructured, PrStarHubDominates) {
+  const vertex_t n = 50;
+  FGraph g(n, star_graph(n));
+  auto pr = pagerank(g);
+  for (vertex_t v = 1; v < n; ++v) {
+    EXPECT_GT(pr[0], pr[v] * 5) << v;
+    EXPECT_NEAR(pr[v], pr[1], 1e-12);  // leaves symmetric
+  }
+}
+
+TEST(AlgosStructured, CcSeparateCliquesGetSeparateLabels) {
+  // Two cliques of 8 with no connection.
+  std::vector<uint64_t> edges;
+  for (vertex_t u = 0; u < 8; ++u) {
+    for (vertex_t v = 0; v < 8; ++v) {
+      if (u != v) {
+        edges.push_back(edge_key(u, v));
+        edges.push_back(edge_key(u + 8, v + 8));
+      }
+    }
+  }
+  FGraph g(16, symmetrize(edges));
+  auto cc = connected_components(g);
+  for (vertex_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(cc[v], cc[0]);
+    EXPECT_EQ(cc[v + 8], cc[8]);
+  }
+  EXPECT_NE(cc[0], cc[8]);
+}
+
+TEST(AlgosStructured, AllContainersAgreeOnStructuredGraphs) {
+  for (auto make : {path_graph, star_graph}) {
+    const vertex_t n = 40;
+    auto edges = make(n);
+    FGraph f(n, edges);
+    CPacGraph c(n, edges);
+    Csr s(n, edges);
+    auto pf = pagerank(f), pc = pagerank(c), ps = pagerank(s);
+    for (vertex_t v = 0; v < n; ++v) {
+      ASSERT_NEAR(pf[v], pc[v], 1e-12);
+      ASSERT_NEAR(pf[v], ps[v], 1e-12);
+    }
+  }
+}

@@ -1,0 +1,157 @@
+// Configuration-space tests: density-bound settings, growth factors at the
+// extremes of the paper's sweep, interactions between settings and batch
+// regimes, and the density-bound interpolation math itself.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "pma/cpma.hpp"
+#include "pma/settings.hpp"
+#include "util/random.hpp"
+
+using cpma::CPMA;
+using cpma::PMA;
+using cpma::pma::PmaSettings;
+using cpma::util::Rng;
+
+TEST(Settings, UpperBoundsDecreaseWithHeight) {
+  PmaSettings s;
+  for (uint64_t h = 1; h < 20; ++h) {
+    EXPECT_GE(s.upper_at(h, 20), s.upper_at(h + 1, 20)) << h;
+  }
+  // Leaves get strictly more headroom than any internal level.
+  EXPECT_GT(s.upper_at(0, 20), s.upper_at(1, 20));
+}
+
+TEST(Settings, LowerBoundsIncreaseWithHeight) {
+  PmaSettings s;
+  for (uint64_t h = 1; h < 20; ++h) {
+    EXPECT_LE(s.lower_at(h, 20), s.lower_at(h + 1, 20)) << h;
+  }
+  EXPECT_LT(s.lower_at(0, 20), s.lower_at(1, 20));
+}
+
+TEST(Settings, BoundsNestAtEveryHeight) {
+  PmaSettings s;
+  for (uint64_t H : {1u, 5u, 15u, 30u}) {
+    for (uint64_t h = 0; h <= H; ++h) {
+      EXPECT_LT(s.lower_at(h, H), s.upper_at(h, H)) << h << "/" << H;
+    }
+  }
+}
+
+TEST(Settings, DegenerateTreeHeights) {
+  PmaSettings s;
+  EXPECT_EQ(s.upper_at(0, 0), s.upper_root);
+  EXPECT_EQ(s.upper_at(0, 1), s.upper_leaf);
+  EXPECT_EQ(s.upper_at(1, 1), s.upper_root);
+}
+
+// Growth factors across the paper's Appendix C sweep keep the structure
+// correct under mixed batch workloads.
+class GrowthFactorOps : public ::testing::TestWithParam<double> {};
+
+TEST_P(GrowthFactorOps, MixedWorkloadStaysCorrect) {
+  PmaSettings s;
+  s.growth_factor = GetParam();
+  CPMA c(s);
+  std::set<uint64_t> ref;
+  Rng r(17);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<uint64_t> ins(15000);
+    for (auto& k : ins) k = 1 + (r.next() % (1ull << 36));
+    for (uint64_t k : ins) ref.insert(k);
+    c.insert_batch(ins.data(), ins.size());
+    std::vector<uint64_t> del(5000);
+    for (auto& k : del) k = 1 + (r.next() % (1ull << 36));
+    for (uint64_t k : del) ref.erase(k);
+    c.remove_batch(del.data(), del.size());
+    ASSERT_EQ(c.size(), ref.size()) << "round " << round;
+  }
+  std::string err;
+  ASSERT_TRUE(c.check_invariants(&err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, GrowthFactorOps,
+                         ::testing::Values(1.05, 1.1, 1.2, 1.5, 2.0, 3.0));
+
+// The serial RMA-like baseline agrees with the parallel batch algorithm for
+// every batch-size regime.
+class SerialBaselineRegimes : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerialBaselineRegimes, MatchesParallelAlgorithm) {
+  const uint64_t batch_size = GetParam();
+  PMA a, b;
+  Rng r(batch_size);
+  std::vector<uint64_t> base(120000);
+  for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+  {
+    auto c1 = base;
+    a.insert_batch(c1.data(), c1.size());
+    auto c2 = base;
+    b.insert_batch(c2.data(), c2.size());
+  }
+  for (int round = 0; round < 3; ++round) {
+    std::vector<uint64_t> batch(batch_size);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+    auto c1 = batch;
+    uint64_t added_a = a.insert_batch(c1.data(), c1.size());
+    auto c2 = batch;
+    uint64_t added_b = b.insert_batch_serial_baseline(c2.data(), c2.size());
+    ASSERT_EQ(added_a, added_b) << "round " << round;
+    ASSERT_EQ(a.size(), b.size());
+  }
+  EXPECT_EQ(a.sum(), b.sum());
+  std::string err;
+  ASSERT_TRUE(b.check_invariants(&err)) << err;
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, SerialBaselineRegimes,
+                         ::testing::Values(200u, 3000u, 30000u));
+
+// Custom (tighter) density bounds still produce a correct structure.
+TEST(Settings, TightInternalBounds) {
+  PmaSettings s;
+  s.upper_internal = 0.72;
+  s.upper_root = 0.68;
+  CPMA c(s);
+  Rng r(23);
+  std::set<uint64_t> ref;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<uint64_t> batch(20000);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+    for (uint64_t k : batch) ref.insert(k);
+    c.insert_batch(batch.data(), batch.size());
+    ASSERT_EQ(c.size(), ref.size());
+  }
+  std::string err;
+  ASSERT_TRUE(c.check_invariants(&err)) << err;
+  // Density respects the configured root bound (small tolerance for heads).
+  EXPECT_LT(c.density(), 0.75);
+}
+
+// Structures built through different operation orders converge to the same
+// CONTENT (layout may differ), so sum/size/iteration agree.
+TEST(Convergence, ContentIndependentOfInsertionOrder) {
+  Rng r(29);
+  std::vector<uint64_t> keys(50000);
+  for (auto& k : keys) k = 1 + (r.next() % (1ull << 40));
+  CPMA ascending, shuffled, batched;
+  {
+    auto sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    for (uint64_t k : sorted) ascending.insert(k);
+  }
+  for (uint64_t k : keys) shuffled.insert(k);
+  {
+    auto copy = keys;
+    batched.insert_batch(copy.data(), copy.size());
+  }
+  EXPECT_EQ(ascending.size(), shuffled.size());
+  EXPECT_EQ(ascending.size(), batched.size());
+  EXPECT_EQ(ascending.sum(), shuffled.sum());
+  EXPECT_EQ(ascending.sum(), batched.sum());
+}

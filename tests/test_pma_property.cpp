@@ -1,0 +1,224 @@
+// Property-based tests: parameterized sweeps asserting the PMA/CPMA
+// invariants that the paper's analysis depends on — structural validity
+// after arbitrary operation sequences, density stays within the configured
+// bounds, compression ratios, iterator/set equivalence, and determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "pma/cpma.hpp"
+#include "util/random.hpp"
+
+using cpma::CPMA;
+using cpma::PMA;
+using cpma::util::Rng;
+
+// ---------------------------------------------------------------------------
+// Random operation sequences, parameterized over (seed, key-space size).
+// ---------------------------------------------------------------------------
+
+class OpSequence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+template <typename T>
+void run_op_sequence(uint64_t seed, uint64_t space) {
+  T p;
+  std::set<uint64_t> ref;
+  Rng r(seed);
+  for (int step = 0; step < 6000; ++step) {
+    int op = static_cast<int>(r.next() % 10);
+    if (op < 5) {  // point insert
+      uint64_t k = r.next() % space;
+      ASSERT_EQ(p.insert(k), ref.insert(k).second);
+    } else if (op < 7) {  // point remove
+      uint64_t k = r.next() % space;
+      ASSERT_EQ(p.remove(k), ref.erase(k) == 1);
+    } else if (op == 7) {  // batch insert
+      std::vector<uint64_t> batch(1 + r.next() % 800);
+      for (auto& k : batch) k = r.next() % space;
+      for (uint64_t k : batch) ref.insert(k);
+      p.insert_batch(batch.data(), batch.size());
+      ASSERT_EQ(p.size(), ref.size());
+    } else if (op == 8) {  // batch remove
+      std::vector<uint64_t> batch(1 + r.next() % 400);
+      for (auto& k : batch) k = r.next() % space;
+      for (uint64_t k : batch) ref.erase(k);
+      p.remove_batch(batch.data(), batch.size());
+      ASSERT_EQ(p.size(), ref.size());
+    } else {  // queries
+      uint64_t k = r.next() % space;
+      ASSERT_EQ(p.has(k), ref.count(k) == 1);
+      auto suc = p.successor(k);
+      auto rit = ref.lower_bound(k);
+      if (rit == ref.end()) {
+        ASSERT_FALSE(suc.has_value());
+      } else {
+        ASSERT_TRUE(suc.has_value());
+        ASSERT_EQ(*suc, *rit);
+      }
+    }
+  }
+  std::string err;
+  ASSERT_TRUE(p.check_invariants(&err)) << err;
+  std::vector<uint64_t> want(ref.begin(), ref.end());
+  std::vector<uint64_t> got;
+  p.map([&](uint64_t k) { got.push_back(k); });
+  ASSERT_EQ(got, want);
+}
+
+TEST_P(OpSequence, PmaMatchesReference) {
+  auto [seed, space] = GetParam();
+  run_op_sequence<PMA>(seed, space);
+}
+
+TEST_P(OpSequence, CpmaMatchesReference) {
+  auto [seed, space] = GetParam();
+  run_op_sequence<CPMA>(seed, space);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSpaces, OpSequence,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(uint64_t{256}, uint64_t{1} << 16,
+                                         uint64_t{1} << 40)));
+
+// ---------------------------------------------------------------------------
+// Density bounds hold after bulk loads of different sizes & distributions.
+// ---------------------------------------------------------------------------
+
+class DensityAfterLoad : public ::testing::TestWithParam<uint64_t> {};
+
+template <typename T>
+void check_density(uint64_t n) {
+  T p;
+  Rng r(n);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = 1 + (r.next() % (1ull << 40));
+  p.insert_batch(keys.data(), keys.size());
+  double d = p.density();
+  // Stays under the root's upper bound with a bit of tolerance for per-leaf
+  // head storage, and above a sanity floor (no pathological sparsity).
+  EXPECT_LT(d, 0.80) << "n=" << n;
+  EXPECT_GT(d, 0.15) << "n=" << n;
+  std::string err;
+  ASSERT_TRUE(p.check_invariants(&err)) << err;
+}
+
+TEST_P(DensityAfterLoad, Pma) { check_density<PMA>(GetParam()); }
+TEST_P(DensityAfterLoad, Cpma) { check_density<CPMA>(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DensityAfterLoad,
+                         ::testing::Values(1000u, 10000u, 100000u, 1000000u));
+
+// ---------------------------------------------------------------------------
+// Compression-ratio properties (Table 6's qualitative claims).
+// ---------------------------------------------------------------------------
+
+class SpaceRatio : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpaceRatio, CpmaAtLeastTwiceSmallerThanPmaOnUniform40Bit) {
+  uint64_t n = GetParam();
+  Rng r(7);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = 1 + (r.next() % (1ull << 40));
+  PMA p;
+  CPMA c;
+  p.insert_batch(std::vector<uint64_t>(keys));
+  c.insert_batch(std::vector<uint64_t>(keys));
+  double pma_bpe = static_cast<double>(p.get_size()) / p.size();
+  double cpma_bpe = static_cast<double>(c.get_size()) / c.size();
+  // Paper Table 6: PMA ~10-12 B/elt, CPMA ~3-5 B/elt at these scales.
+  EXPECT_GT(pma_bpe / cpma_bpe, 2.0) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpaceRatio,
+                         ::testing::Values(100000u, 1000000u));
+
+// ---------------------------------------------------------------------------
+// Batch insert/remove inverse property: (S + B) - B == S.
+// ---------------------------------------------------------------------------
+
+class InverseBatch : public ::testing::TestWithParam<uint64_t> {};
+
+template <typename T>
+void check_inverse(uint64_t batch_size) {
+  T p;
+  Rng r(batch_size + 17);
+  std::vector<uint64_t> base(100000);
+  for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+  p.insert_batch(std::vector<uint64_t>(base));
+  std::vector<uint64_t> before;
+  p.map([&](uint64_t k) { before.push_back(k); });
+
+  // Build a batch of keys NOT currently present.
+  std::vector<uint64_t> batch;
+  batch.reserve(batch_size);
+  while (batch.size() < batch_size) {
+    uint64_t k = 1 + (r.next() % (1ull << 40));
+    if (!p.has(k)) batch.push_back(k);
+  }
+  uint64_t added = p.insert_batch(std::vector<uint64_t>(batch));
+  std::sort(batch.begin(), batch.end());
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+  ASSERT_EQ(added, batch.size());
+  uint64_t removed = p.remove_batch(std::vector<uint64_t>(batch));
+  ASSERT_EQ(removed, batch.size());
+
+  std::vector<uint64_t> after;
+  p.map([&](uint64_t k) { after.push_back(k); });
+  ASSERT_EQ(after, before);
+  std::string err;
+  ASSERT_TRUE(p.check_invariants(&err)) << err;
+}
+
+TEST_P(InverseBatch, Pma) { check_inverse<PMA>(GetParam()); }
+TEST_P(InverseBatch, Cpma) { check_inverse<CPMA>(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, InverseBatch,
+                         ::testing::Values(50u, 1000u, 5000u, 60000u));
+
+// ---------------------------------------------------------------------------
+// Determinism: the same inputs produce the same structure regardless of the
+// parallel schedule.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, SameContentAcrossRuns) {
+  auto build = [] {
+    CPMA c;
+    Rng r(123);
+    for (int round = 0; round < 5; ++round) {
+      std::vector<uint64_t> batch(50000);
+      for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+      c.insert_batch(batch.data(), batch.size());
+    }
+    return c.sum();
+  };
+  uint64_t a = build();
+  uint64_t b = build();
+  EXPECT_EQ(a, b);
+}
+
+// Growth-factor sweep: all configurations stay valid, smaller factors give
+// smaller (or equal) arrays on average (Appendix C's qualitative claim).
+class GrowthFactor : public ::testing::TestWithParam<double> {};
+
+TEST_P(GrowthFactor, StructureStaysValid) {
+  cpma::pma::PmaSettings s;
+  s.growth_factor = GetParam();
+  CPMA c(s);
+  Rng r(31);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<uint64_t> batch(20000);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+    c.insert_batch(batch.data(), batch.size());
+  }
+  std::string err;
+  ASSERT_TRUE(c.check_invariants(&err)) << err;
+  EXPECT_GT(c.size(), 150000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, GrowthFactor,
+                         ::testing::Values(1.1, 1.2, 1.5, 2.0));
