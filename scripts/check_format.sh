@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Reports files that deviate from .clang-format. Non-blocking in CI (the
+# workflow marks the job continue-on-error); run locally with no args, or
+# with --fix to rewrite files in place.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: $CLANG_FORMAT not found; skipping" >&2
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "check_format: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+bad=0
+for f in "${files[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: $f"
+    bad=1
+  fi
+done
+
+if [[ $bad -eq 0 ]]; then
+  echo "check_format: all ${#files[@]} files clean"
+fi
+exit $bad

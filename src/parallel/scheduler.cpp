@@ -15,10 +15,16 @@ std::unique_ptr<Scheduler> g_instance;
 std::atomic<Scheduler*> g_instance_fast{nullptr};
 
 unsigned default_worker_count() {
+#if defined(CPMA_FORCE_SERIAL)
+  // Build configured with -DCPMA_PARALLEL=OFF: always a single worker,
+  // regardless of CPMA_NUM_THREADS.
+  return 1;
+#else
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   return static_cast<unsigned>(
       cpma::util::env_u64("CPMA_NUM_THREADS", hw));
+#endif
 }
 }  // namespace
 
@@ -36,6 +42,10 @@ Scheduler& Scheduler::instance() {
 // Precondition: no parallel region is active (callers are the scaling benches
 // between measurement phases).
 void Scheduler::set_num_workers(unsigned n) {
+#if defined(CPMA_FORCE_SERIAL)
+  // Serial builds stay serial even when benches/tests sweep worker counts.
+  n = 1;
+#endif
   if (n == 0) n = 1;
   std::lock_guard<std::mutex> lock(g_instance_mutex);
   g_instance_fast.store(nullptr, std::memory_order_release);

@@ -281,7 +281,7 @@ struct CompressedLeaf {
     uint64_t value = 0;
   };
 
-  static bool cursor_begin(const uint8_t* leaf, size_t cap, Cursor& cur) {
+  static bool cursor_begin(const uint8_t* leaf, size_t /*cap*/, Cursor& cur) {
     uint64_t h = head(leaf);
     if (h == 0) return false;
     cur.value = h;

@@ -100,13 +100,16 @@ struct UncompressedLeaf {
   }
 
   // Bytes `write` would use for these keys.
-  static size_t encoded_size(const uint64_t* keys, size_t n) { return n * 8; }
+  static size_t encoded_size(const uint64_t* /*keys*/, size_t n) {
+    return n * 8;
+  }
 
   // Overwrites the leaf with keys[0..n); zero-fills the tail.
   static void write(uint8_t* leaf, size_t cap, const uint64_t* keys,
                     size_t n) {
     assert(n * 8 <= cap);
-    std::memcpy(leaf, keys, n * 8);
+    // keys may be null when n == 0; memcpy forbids null even for size 0.
+    if (n != 0) std::memcpy(leaf, keys, n * 8);
     std::memset(leaf + n * 8, 0, cap - n * 8);
   }
 

@@ -222,3 +222,113 @@ TEST_P(GrowthFactor, StructureStaysValid) {
 
 INSTANTIATE_TEST_SUITE_P(Factors, GrowthFactor,
                          ::testing::Values(1.1, 1.2, 1.5, 2.0));
+
+// ---------------------------------------------------------------------------
+// Batch edge cases: degenerate batches must be no-ops or exact duplicates of
+// the point-op semantics, and must leave the structure valid.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class BatchEdgeCases : public ::testing::Test {};
+
+using Engines = ::testing::Types<PMA, CPMA>;
+TYPED_TEST_SUITE(BatchEdgeCases, Engines);
+
+template <typename T>
+void expect_valid(const T& p) {
+  std::string err;
+  ASSERT_TRUE(p.check_invariants(&err)) << err;
+}
+
+TYPED_TEST(BatchEdgeCases, EmptyBatch) {
+  TypeParam p;
+  EXPECT_EQ(p.insert_batch(nullptr, 0), 0u);
+  EXPECT_EQ(p.remove_batch(nullptr, 0), 0u);
+  EXPECT_TRUE(p.empty());
+  expect_valid(p);
+
+  // Also a no-op on a populated structure.
+  std::vector<uint64_t> keys{5, 9, 200, 70000};
+  p.insert_batch(std::vector<uint64_t>(keys));
+  EXPECT_EQ(p.insert_batch(nullptr, 0), 0u);
+  EXPECT_EQ(p.remove_batch(nullptr, 0), 0u);
+  EXPECT_EQ(p.size(), keys.size());
+  expect_valid(p);
+}
+
+TYPED_TEST(BatchEdgeCases, AllDuplicateBatch) {
+  TypeParam p;
+  // Every element the same key: exactly one insert happens.
+  std::vector<uint64_t> batch(5000, 42);
+  EXPECT_EQ(p.insert_batch(batch.data(), batch.size()), 1u);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.has(42));
+  expect_valid(p);
+
+  // Re-inserting the same all-duplicate batch adds nothing.
+  std::vector<uint64_t> again(5000, 42);
+  EXPECT_EQ(p.insert_batch(again.data(), again.size()), 0u);
+  EXPECT_EQ(p.size(), 1u);
+
+  // Removing it drains exactly the one key.
+  std::vector<uint64_t> rm(5000, 42);
+  EXPECT_EQ(p.remove_batch(rm.data(), rm.size()), 1u);
+  EXPECT_TRUE(p.empty());
+  expect_valid(p);
+}
+
+TYPED_TEST(BatchEdgeCases, BatchEqualsCurrentContents) {
+  TypeParam p;
+  Rng r(404);
+  std::vector<uint64_t> keys(20000);
+  for (auto& k : keys) k = 1 + (r.next() % (1ull << 40));
+  p.insert_batch(std::vector<uint64_t>(keys));
+  uint64_t n = p.size();
+
+  // Full-overlap insert: every key already present, nothing is added and the
+  // contents are unchanged.
+  std::vector<uint64_t> overlap;
+  p.map([&](uint64_t k) { overlap.push_back(k); });
+  EXPECT_EQ(p.insert_batch(std::vector<uint64_t>(overlap)), 0u);
+  EXPECT_EQ(p.size(), n);
+  std::vector<uint64_t> after;
+  p.map([&](uint64_t k) { after.push_back(k); });
+  EXPECT_EQ(after, overlap);
+  expect_valid(p);
+
+  // Full-overlap remove: drains the structure completely.
+  EXPECT_EQ(p.remove_batch(std::vector<uint64_t>(overlap)), n);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.sum(), 0u);
+  expect_valid(p);
+}
+
+TYPED_TEST(BatchEdgeCases, BatchSpansKeyZeroSentinel) {
+  TypeParam p;
+  // Key 0 is stored out-of-band (the leaf format uses 0 as the empty
+  // sentinel); a batch mixing 0 with its neighbors must hit both paths.
+  std::vector<uint64_t> batch{0, 1, 2, 0, 3, 0};
+  EXPECT_EQ(p.insert_batch(batch.data(), batch.size()), 4u);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(p.has(0));
+  EXPECT_EQ(p.min(), 0u);
+  std::vector<uint64_t> got;
+  p.map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, (std::vector<uint64_t>{0, 1, 2, 3}));
+  expect_valid(p);
+
+  // successor must see the sentinel too.
+  auto suc = p.successor(0);
+  ASSERT_TRUE(suc.has_value());
+  EXPECT_EQ(*suc, 0u);
+
+  // Removing a batch spanning the boundary removes 0 exactly once.
+  std::vector<uint64_t> rm{0, 2, 0};
+  EXPECT_EQ(p.remove_batch(rm.data(), rm.size()), 2u);
+  EXPECT_FALSE(p.has(0));
+  EXPECT_EQ(p.size(), 2u);
+  got.clear();
+  p.map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, (std::vector<uint64_t>{1, 3}));
+  expect_valid(p);
+}
