@@ -1,0 +1,184 @@
+// Leaf decode-throughput microbench: measures the DeltaStream kernel that
+// every CPMA scan/merge now routes through, at leaf granularity.
+//
+// Modes:
+//   scalar  one key per DeltaStream::next() call (the search loops)
+//   block   DeltaStream::next_block into a stack buffer (scans and merges;
+//           takes the word-at-a-time / SIMD fast path on 1-byte deltas)
+//   map     CompressedLeaf::map summing (what engine scans execute)
+//   count   element_count (count_remaining: popcount, no value decode)
+//
+// Distributions sweep the delta width: dense (1-byte codes, the fast-path
+// sweet spot), uniform 40-bit (~3-byte codes) and sparse 60-bit (~7-byte
+// codes, scalar-dominated).
+//
+// Output: one RESULT line per (dist, mode) — machine-parsed by
+// scripts/run_bench.py into BENCH_leaf_decode.json.
+#include <algorithm>
+#include <cstring>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pma/leaf_compressed.hpp"
+#include "pma/settings.hpp"
+
+namespace {
+
+using Leaf = cpma::pma::CompressedLeaf<>;
+using Stream = Leaf::Stream;
+
+constexpr size_t kLeafBytes = 1024;
+
+volatile uint64_t g_sink;  // defeats dead-code elimination
+
+struct LeafSet {
+  std::vector<uint8_t> data;  // num_leaves * kLeafBytes
+  uint64_t num_leaves = 0;
+  uint64_t num_keys = 0;
+  uint64_t encoded_bytes = 0;  // used bytes across leaves (heads included)
+};
+
+// Packs sorted unique keys into consecutive leaves at ~90% density.
+LeafSet build_leaves(const std::vector<uint64_t>& keys) {
+  LeafSet ls;
+  const size_t budget = kLeafBytes - cpma::pma::kLeafSlack;
+  size_t i = 0;
+  while (i < keys.size()) {
+    size_t cost = Leaf::kHeadBytes;
+    size_t j = i + 1;
+    while (j < keys.size()) {
+      size_t c = Leaf::delta_bytes(keys[j - 1], keys[j]);
+      if (cost + c > budget) break;
+      cost += c;
+      ++j;
+    }
+    ls.data.resize(ls.data.size() + kLeafBytes);
+    Leaf::write(ls.data.data() + ls.num_leaves * kLeafBytes, kLeafBytes,
+                keys.data() + i, j - i);
+    ls.encoded_bytes += cost;
+    ++ls.num_leaves;
+    ls.num_keys += j - i;
+    i = j;
+  }
+  return ls;
+}
+
+std::vector<uint64_t> make_dist(const std::string& dist, uint64_t n,
+                                uint64_t seed) {
+  std::vector<uint64_t> keys;
+  if (dist == "dense") {
+    keys.resize(n);
+    for (uint64_t i = 0; i < n; ++i) keys[i] = 1 + 2 * i;  // delta 2: 1 byte
+    return keys;
+  }
+  unsigned bits = dist == "uniform40" ? 40 : 60;
+  cpma::util::Rng r(seed);
+  keys.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    keys.push_back(1 + (r.next() >> (64 - bits)));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+template <typename F>
+double throughput_keys_per_s(const LeafSet& ls, F&& per_leaf) {
+  double secs = cpma::util::time_trials(
+      [&] {
+        uint64_t acc = 0;
+        for (uint64_t l = 0; l < ls.num_leaves; ++l) {
+          acc += per_leaf(ls.data.data() + l * kLeafBytes);
+        }
+        g_sink = acc;
+      },
+      bench::trials());
+  return static_cast<double>(ls.num_keys) / secs;
+}
+
+void report(const LeafSet& ls, const std::string& dist,
+            const std::string& mode, double keys_per_s) {
+  double bytes_per_key = static_cast<double>(ls.encoded_bytes) /
+                         static_cast<double>(ls.num_keys);
+  double mb_per_s = keys_per_s * bytes_per_key / 1e6;
+  // The word-at-a-time path is unconditional (CPMA_SIMD only gates the
+  // intrinsics variant), so the label is the path actually taken.
+  const char* simd =
+#if CPMA_SIMD_AVX2
+      "avx2";
+#else
+      "word";
+#endif
+  std::printf(
+      "RESULT bench=leaf_decode dist=%s mode=%s simd=%s keys=%llu "
+      "bytes_per_key=%.2f keys_per_s=%.3e mb_per_s=%.1f\n",
+      dist.c_str(), mode.c_str(), simd, (unsigned long long)ls.num_keys,
+      bytes_per_key, keys_per_s, mb_per_s);
+}
+
+void run_dist(const std::string& dist) {
+  auto keys = make_dist(dist, bench::base_n(), 42);
+  LeafSet ls = build_leaves(keys);
+
+  // The seed implementation each op used to carry: memchr for the stream
+  // end, then a scalar varint loop bounded by it.
+  report(ls, dist, "legacy", throughput_keys_per_s(ls, [](const uint8_t* lp) {
+           uint64_t acc = Leaf::head(lp);
+           if (acc == 0) return acc;
+           const void* z =
+               std::memchr(lp + Leaf::kHeadBytes, 0,
+                           kLeafBytes - Leaf::kHeadBytes);
+           size_t end = z == nullptr
+                            ? kLeafBytes
+                            : static_cast<size_t>(
+                                  static_cast<const uint8_t*>(z) - lp);
+           uint64_t cur = acc;
+           size_t pos = Leaf::kHeadBytes;
+           while (pos < end) {
+             uint64_t delta;
+             pos += cpma::codec::varint_decode(lp + pos, &delta);
+             cur += delta;
+             acc += cur;
+           }
+           return acc;
+         }));
+  report(ls, dist, "scalar", throughput_keys_per_s(ls, [](const uint8_t* lp) {
+           uint64_t acc = Leaf::head(lp);
+           Stream s = Leaf::stream(lp, kLeafBytes);
+           while (s.next()) acc += s.value();
+           return acc;
+         }));
+  report(ls, dist, "block", throughput_keys_per_s(ls, [](const uint8_t* lp) {
+           uint64_t acc = Leaf::head(lp);
+           Stream s = Leaf::stream(lp, kLeafBytes);
+           uint64_t buf[Stream::kBlockKeys];
+           while (size_t k = s.next_block(buf, Stream::kBlockKeys)) {
+             for (size_t i = 0; i < k; ++i) acc += buf[i];
+           }
+           return acc;
+         }));
+  report(ls, dist, "map", throughput_keys_per_s(ls, [](const uint8_t* lp) {
+           uint64_t acc = 0;
+           Leaf::map(lp, kLeafBytes, [&](uint64_t k) {
+             acc += k;
+             return true;
+           });
+           return acc;
+         }));
+  report(ls, dist, "count", throughput_keys_per_s(ls, [](const uint8_t* lp) {
+           return Leaf::element_count(lp, kLeafBytes);
+         }));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("leaf decode kernel throughput");
+  for (const char* dist : {"dense", "uniform40", "sparse60"}) {
+    run_dist(dist);
+  }
+  return 0;
+}

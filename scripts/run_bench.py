@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Run a benchmark binary and persist its RESULT lines as JSON.
+
+Benchmarks print machine-parsable lines of the form
+
+    RESULT bench=leaf_decode dist=dense mode=block keys_per_s=1.234e+09 ...
+
+This harness runs the binary, parses every RESULT line into a record
+(numbers are converted when they parse), and writes BENCH_<name>.json next
+to the repo root — the perf-trajectory artifacts successive PRs compare
+against.
+
+Usage:
+    scripts/run_bench.py                          # bench_leaf_decode, ./build
+    scripts/run_bench.py --bench bench_leaf_decode --build-dir build \
+        --out BENCH_leaf_decode.json
+Extra CPMA_BENCH_* environment knobs pass straight through to the binary.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+
+
+def parse_result_line(line):
+    record = {}
+    for token in line.split()[1:]:  # skip the RESULT tag
+        if "=" not in token:
+            continue
+        key, value = token.split("=", 1)
+        for cast in (int, float):
+            try:
+                value = cast(value)
+                break
+            except ValueError:
+                continue
+        record[key] = value
+    return record
+
+
+def git_revision():
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"], text=True
+        ).strip()
+    except (subprocess.CalledProcessError, OSError):
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="bench_leaf_decode",
+                        help="benchmark binary name (under <build-dir>/bench)")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_<name>.json)")
+    args = parser.parse_args()
+
+    binary = os.path.join(args.build_dir, "bench", args.bench)
+    if not os.path.exists(binary):
+        sys.exit(
+            f"error: {binary} not found — build first: "
+            f"cmake -B {args.build_dir} -S . && "
+            f"cmake --build {args.build_dir} -j"
+        )
+
+    proc = subprocess.run([binary], capture_output=True, text=True)
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        sys.exit(f"error: {binary} exited with {proc.returncode}")
+
+    results = [
+        parse_result_line(line)
+        for line in proc.stdout.splitlines()
+        if line.startswith("RESULT ")
+    ]
+    if not results:
+        sys.exit(f"error: no RESULT lines in {args.bench} output")
+
+    name = args.bench.removeprefix("bench_")
+    out_path = args.out or f"BENCH_{name}.json"
+    payload = {
+        "bench": name,
+        "binary": args.bench,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "host": platform.node(),
+        "machine": platform.machine(),
+        "git_revision": git_revision(),
+        "env": {
+            k: v for k, v in os.environ.items() if k.startswith("CPMA_BENCH_")
+        },
+        "results": results,
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path} ({len(results)} records)")
+
+
+if __name__ == "__main__":
+    main()

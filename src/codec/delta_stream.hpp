@@ -1,0 +1,243 @@
+// The leaf layer's single streaming delta-decode kernel.
+//
+// A compressed leaf body is a run of delta byte-codes terminated by a 0x00
+// byte (or by the end of the buffer when the run fills it exactly); bytes
+// past the terminator are zero. DeltaStream<Codec> owns that head/end
+// bookkeeping in ONE place: it walks the run without ever pre-scanning for
+// the end (the old per-op memchr), stopping when it reads the terminator.
+//
+// Codec concept (see ByteVarintCodec for the reference implementation):
+//   static constexpr const char* name;
+//   static constexpr size_t kMaxBytes;          // max encoded length
+//   static constexpr size_t size(uint64_t v);   // bytes encode() writes
+//   static size_t encode(uint64_t v, uint8_t* dst);
+//   static size_t decode(const uint8_t* src, uint64_t* out);
+//   static size_t skip(const uint8_t* src);
+// Contract: the encoding of any value >= 1 contains no 0x00 byte, so the
+// zero-filled tail of a leaf doubles as the end-of-stream marker. Optional
+// bulk hooks (detected with `requires`, scalar fallbacks otherwise):
+//   static size_t decode_block(src, avail, base, out, max, &consumed);
+//   static size_t count_run(src, avail, &consumed);
+//
+// SIMD policy: the word-at-a-time fast path (8 one-byte deltas per 64-bit
+// probe) is portable and always compiled. The AVX2 widen-and-prefix-sum
+// variant is additionally gated on CPMA_SIMD (CMake option of the same name)
+// so a forced-scalar build exercises the portable path end to end.
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+
+#include "codec/varint.hpp"
+
+#ifndef CPMA_SIMD
+#define CPMA_SIMD 1
+#endif
+
+#if CPMA_SIMD && defined(__AVX2__)
+#include <immintrin.h>
+#define CPMA_SIMD_AVX2 1
+#else
+#define CPMA_SIMD_AVX2 0
+#endif
+
+namespace cpma::codec {
+
+namespace detail {
+constexpr uint64_t kHighBits = 0x8080808080808080ull;
+constexpr uint64_t kLowBits = 0x0101010101010101ull;
+
+// True iff any of the 8 bytes of w is 0x00 (classic SWAR zero-byte probe).
+constexpr bool word_has_zero_byte(uint64_t w) {
+  return ((w - kLowBits) & ~w & kHighBits) != 0;
+}
+
+#if CPMA_SIMD_AVX2
+// Decodes 8 consecutive one-byte deltas at p into out[0..8) on top of
+// `base`: widen to 16-bit lanes, log-step prefix sum (max sum 8*127 fits),
+// widen to 64-bit and add the base. Returns the new running value.
+inline uint64_t decode8_avx2(const uint8_t* p, uint64_t base, uint64_t* out) {
+  __m128i bytes = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  __m128i v = _mm_cvtepu8_epi16(bytes);
+  v = _mm_add_epi16(v, _mm_slli_si128(v, 2));
+  v = _mm_add_epi16(v, _mm_slli_si128(v, 4));
+  v = _mm_add_epi16(v, _mm_slli_si128(v, 8));
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(base));
+  __m256i lo = _mm256_add_epi64(_mm256_cvtepu16_epi64(v), b);
+  __m256i hi = _mm256_add_epi64(
+      _mm256_cvtepu16_epi64(_mm_srli_si128(v, 8)), b);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), lo);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4), hi);
+  return base + static_cast<uint64_t>(_mm_extract_epi16(v, 7));
+}
+#endif
+}  // namespace detail
+
+// The default (and currently only production) codec: varint byte codes with
+// continue bits, plus the bulk hooks the kernel's fast paths hang off.
+struct ByteVarintCodec {
+  static constexpr const char* name = "byte-varint";
+  static constexpr size_t kMaxBytes = kMaxVarintBytes;
+
+  static constexpr size_t size(uint64_t v) { return varint_size(v); }
+  static size_t encode(uint64_t v, uint8_t* dst) {
+    return varint_encode(v, dst);
+  }
+  static size_t decode(const uint8_t* src, uint64_t* out) {
+    return varint_decode(src, out);
+  }
+  static size_t skip(const uint8_t* src) { return varint_skip(src); }
+
+  // Bulk-decodes up to `max` values from src[0..avail) on top of running
+  // value `base`, stopping at the terminator. Returns the number of values
+  // written to out; *consumed receives the bytes advanced. Fast path: a
+  // 64-bit probe proves the next 8 bytes are all one-byte, non-terminator
+  // deltas (no continue bits, no zero byte), which covers most of a dense
+  // leaf; anything else falls back to one scalar varint per iteration.
+  static size_t decode_block(const uint8_t* src, size_t avail, uint64_t base,
+                             uint64_t* out, size_t max, size_t* consumed) {
+    size_t n = 0;
+    size_t pos = 0;
+    // Word loop: runs while every probe proves 8 plain one-byte deltas.
+    // On the first failed probe the rest of the block decodes scalar (one
+    // probe per run, not per value — a leaf's delta widths are homogeneous
+    // enough that per-value re-probing only adds overhead); the next
+    // next_block() call re-enters the word loop.
+    while (n + 8 <= max && pos + 8 <= avail) {
+      uint64_t w;
+      std::memcpy(&w, src + pos, 8);
+      if ((w & detail::kHighBits) != 0 || detail::word_has_zero_byte(w)) break;
+#if CPMA_SIMD_AVX2
+      base = detail::decode8_avx2(src + pos, base, out + n);
+#else
+      for (size_t i = 0; i < 8; ++i) {
+        base += src[pos + i];
+        out[n + i] = base;
+      }
+#endif
+      n += 8;
+      pos += 8;
+    }
+    while (n < max && pos < avail && src[pos] != 0) {
+      uint64_t d;
+      pos += decode(src + pos, &d);
+      base += d;
+      out[n++] = base;
+    }
+    *consumed = pos;
+    return n;
+  }
+
+  // Counts the encoded values in src[0..avail) up to the terminator without
+  // decoding them; *consumed receives the bytes advanced. Every value ends
+  // in exactly one byte with a clear continue bit, so a window's value count
+  // is a popcount — correct even when a varint straddles windows, because
+  // its final byte is counted wherever it lands.
+  static size_t count_run(const uint8_t* src, size_t avail, size_t* consumed) {
+    size_t n = 0;
+    size_t pos = 0;
+    while (pos + 8 <= avail) {
+      uint64_t w;
+      std::memcpy(&w, src + pos, 8);
+      if (detail::word_has_zero_byte(w)) break;
+      n += static_cast<size_t>(
+          std::popcount(~w & detail::kHighBits));
+      pos += 8;
+    }
+    while (pos < avail && src[pos] != 0) {
+      pos += skip(src + pos);
+      ++n;
+    }
+    *consumed = pos;
+    return n;
+  }
+};
+
+template <typename Codec>
+concept HasDecodeBlock = requires(const uint8_t* p, size_t a, uint64_t b,
+                                  uint64_t* o, size_t m, size_t* c) {
+  { Codec::decode_block(p, a, b, o, m, c) } -> std::same_as<size_t>;
+};
+
+template <typename Codec>
+concept HasCountRun = requires(const uint8_t* p, size_t a, size_t* c) {
+  { Codec::count_run(p, a, c) } -> std::same_as<size_t>;
+};
+
+// Streaming decoder over a delta run. `value()` starts at the caller's base
+// (a leaf's head) and advances by one decoded delta per next(), or by whole
+// blocks via next_block(). `pos()` is the byte offset of the next undecoded
+// delta relative to the start of the run, which is what the leaf's mutation
+// paths use to splice bytes at the position the scan stopped.
+template <typename Codec = ByteVarintCodec>
+class DeltaStream {
+ public:
+  using codec_type = Codec;
+  // Block size that amortizes per-block overhead without outgrowing the
+  // stack buffers the leaf ops use.
+  static constexpr size_t kBlockKeys = 64;
+
+  DeltaStream(const uint8_t* deltas, size_t cap, uint64_t base,
+              size_t pos = 0)
+      : data_(deltas), cap_(cap), pos_(pos), value_(base) {}
+
+  uint64_t value() const { return value_; }
+  size_t pos() const { return pos_; }
+  bool done() const { return pos_ >= cap_ || data_[pos_] == 0; }
+
+  // Advances by one key; false once the terminator (or cap) is reached.
+  bool next() {
+    if (done()) return false;
+    uint64_t d;
+    pos_ += Codec::decode(data_ + pos_, &d);
+    value_ += d;
+    return true;
+  }
+
+  // Decodes up to `max` further keys into out[]; returns how many (0 at
+  // end-of-stream). After a nonzero return, value() is the last key decoded.
+  size_t next_block(uint64_t* out, size_t max) {
+    if (pos_ >= cap_) return 0;
+    if constexpr (HasDecodeBlock<Codec>) {
+      size_t consumed = 0;
+      size_t n = Codec::decode_block(data_ + pos_, cap_ - pos_, value_, out,
+                                     max, &consumed);
+      pos_ += consumed;
+      if (n > 0) value_ = out[n - 1];
+      return n;
+    } else {
+      size_t n = 0;
+      while (n < max && next()) out[n++] = value_;
+      return n;
+    }
+  }
+
+  // Number of keys left in the stream; consumes them (the stream ends at
+  // the terminator afterwards). Does not decode values.
+  uint64_t count_remaining() {
+    if (pos_ >= cap_) return 0;
+    if constexpr (HasCountRun<Codec>) {
+      size_t consumed = 0;
+      uint64_t n = Codec::count_run(data_ + pos_, cap_ - pos_, &consumed);
+      pos_ += consumed;
+      return n;
+    } else {
+      uint64_t n = 0;
+      while (!done()) {
+        pos_ += Codec::skip(data_ + pos_);
+        ++n;
+      }
+      return n;
+    }
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t cap_;
+  size_t pos_;
+  uint64_t value_;
+};
+
+}  // namespace cpma::codec

@@ -15,6 +15,8 @@
 namespace cpma {
 
 using PMA = pma::PackedMemoryArray<pma::UncompressedLeaf>;
-using CPMA = pma::PackedMemoryArray<pma::CompressedLeaf>;
+// Default codec (byte varints); swap the codec by instantiating
+// pma::PackedMemoryArray<pma::CompressedLeaf<YourCodec>> directly.
+using CPMA = pma::PackedMemoryArray<pma::CompressedLeaf<>>;
 
 }  // namespace cpma

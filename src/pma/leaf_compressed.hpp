@@ -1,14 +1,22 @@
-// Compressed leaf policy (the C in CPMA).
+// Compressed leaf policy (the C in CPMA), parameterized by codec.
 //
 // Layout per Section 5 of the paper: the first sizeof(key) bytes hold the
-// HEAD, uncompressed (0 = empty leaf); the body holds delta-encoded byte
-// codes for the remaining keys. Because this is a set, every delta is >= 1,
-// so no encoded value contains a 0x00 byte — the zero-filled tail therefore
-// doubles as the end-of-stream marker and the leaf needs no explicit length
-// (the structure stays pointer- and metadata-free).
+// HEAD, uncompressed (0 = empty leaf); the body holds delta-encoded codes
+// for the remaining keys. Because this is a set, every delta is >= 1, and
+// the codec contract (codec/delta_stream.hpp) guarantees such encodings
+// contain no 0x00 byte — the zero-filled tail therefore doubles as the
+// end-of-stream marker and the leaf needs no explicit length (the structure
+// stays pointer- and metadata-free).
 //
-// All mutations are single passes over the leaf, which is what preserves the
-// PMA's asymptotic bounds (leaves are O(log n) bytes).
+// Every scan and query routes through the ONE streaming decode kernel,
+// codec::DeltaStream: this file contains no decode loop of its own, only
+// the head bookkeeping and the byte-splicing of the two mutation paths.
+// All mutations are single passes over the leaf, which is what preserves
+// the PMA's asymptotic bounds (leaves are O(log n) bytes).
+//
+// To drop in another encoding, implement the codec concept documented in
+// codec/delta_stream.hpp and instantiate CompressedLeaf<YourCodec>; the
+// engine (pma/pma.hpp) is already generic over the leaf policy.
 #pragma once
 
 #include <cassert>
@@ -17,15 +25,19 @@
 #include <optional>
 #include <vector>
 
-#include "codec/varint.hpp"
+#include "codec/delta_stream.hpp"
 
 namespace cpma::pma {
 
+template <typename Codec = codec::ByteVarintCodec>
 struct CompressedLeaf {
   using key_type = uint64_t;
+  using codec_type = Codec;
+  using Stream = codec::DeltaStream<Codec>;
   static constexpr const char* name = "cpma";
   static constexpr bool compressed = true;
   static constexpr size_t kHeadBytes = 8;
+  static constexpr size_t kBlockKeys = Stream::kBlockKeys;
 
   static uint64_t head(const uint8_t* leaf) {
     uint64_t h;
@@ -34,7 +46,19 @@ struct CompressedLeaf {
   }
   static void set_head(uint8_t* leaf, uint64_t h) { std::memcpy(leaf, &h, 8); }
 
-  // One past the last used byte (head included); 0 for an empty leaf.
+  // Decode kernel positioned at the first delta (caller checks head != 0).
+  static Stream stream(const uint8_t* leaf, size_t cap) {
+    return Stream(leaf + kHeadBytes, cap - kHeadBytes, head(leaf));
+  }
+
+  // Encoded bytes one delta contributes (spread's cost model).
+  static constexpr size_t delta_bytes(key_type prev, key_type key) {
+    return Codec::size(key - prev);
+  }
+
+  // One past the last used byte (head included); 0 for an empty leaf. The
+  // only end-of-stream rescan left in the leaf: queries stop at the
+  // terminator inline, so only mutations (which memmove the tail) call it.
   static size_t used_bytes(const uint8_t* leaf, size_t cap) {
     if (head(leaf) == 0) return 0;
     const void* z = std::memchr(leaf + kHeadBytes, 0, cap - kHeadBytes);
@@ -45,29 +69,16 @@ struct CompressedLeaf {
 
   static uint64_t element_count(const uint8_t* leaf, size_t cap) {
     if (head(leaf) == 0) return 0;
-    size_t end = used_bytes(leaf, cap);
-    uint64_t n = 1;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      pos += codec::varint_skip(leaf + pos);
-      ++n;
-    }
-    return n;
+    return 1 + stream(leaf, cap).count_remaining();
   }
 
   static bool contains(const uint8_t* leaf, size_t cap, uint64_t key) {
     uint64_t h = head(leaf);
     if (h == 0 || key < h) return false;
     if (key == h) return true;
-    size_t end = used_bytes(leaf, cap);
-    uint64_t cur = h;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      uint64_t delta;
-      pos += codec::varint_decode(leaf + pos, &delta);
-      cur += delta;
-      if (cur == key) return true;
-      if (cur > key) return false;
+    Stream s = stream(leaf, cap);
+    while (s.next()) {
+      if (s.value() >= key) return s.value() == key;
     }
     return false;
   }
@@ -77,14 +88,9 @@ struct CompressedLeaf {
     uint64_t h = head(leaf);
     if (h == 0) return std::nullopt;
     if (h >= key) return h;
-    size_t end = used_bytes(leaf, cap);
-    uint64_t cur = h;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      uint64_t delta;
-      pos += codec::varint_decode(leaf + pos, &delta);
-      cur += delta;
-      if (cur >= key) return cur;
+    Stream s = stream(leaf, cap);
+    while (s.next()) {
+      if (s.value() >= key) return s.value();
     }
     return std::nullopt;
   }
@@ -98,12 +104,12 @@ struct CompressedLeaf {
       return true;
     }
     if (key == h) return false;
-    size_t end = used_bytes(leaf, cap);
     if (key < h) {
       // New minimum: key becomes the head, the old head becomes the first
       // delta.
-      uint8_t tmp[codec::kMaxVarintBytes];
-      size_t len = codec::varint_encode(h - key, tmp);
+      uint8_t tmp[Codec::kMaxBytes];
+      size_t len = Codec::encode(h - key, tmp);
+      size_t end = used_bytes(leaf, cap);
       assert(end + len <= cap);
       std::memmove(leaf + kHeadBytes + len, leaf + kHeadBytes,
                    end - kHeadBytes);
@@ -111,19 +117,29 @@ struct CompressedLeaf {
       set_head(leaf, key);
       return true;
     }
+    Stream s = stream(leaf, cap);
     uint64_t prev = h;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      uint64_t delta;
-      size_t old_len = codec::varint_decode(leaf + pos, &delta);
-      uint64_t cur = prev + delta;
+    while (true) {
+      size_t dpos = s.pos();
+      if (!s.next()) {
+        // Largest key in the leaf: append.
+        uint8_t tmp[Codec::kMaxBytes];
+        size_t len = Codec::encode(key - prev, tmp);
+        assert(kHeadBytes + dpos + len <= cap);
+        std::memcpy(leaf + kHeadBytes + dpos, tmp, len);
+        return true;
+      }
+      uint64_t cur = s.value();
       if (cur == key) return false;
       if (cur > key) {
         // Split delta(cur - prev) into delta(key - prev) + delta(cur - key).
-        uint8_t tmp[2 * codec::kMaxVarintBytes];
-        size_t l1 = codec::varint_encode(key - prev, tmp);
-        size_t l2 = codec::varint_encode(cur - key, tmp + l1);
+        size_t old_len = s.pos() - dpos;
+        size_t pos = kHeadBytes + dpos;
+        uint8_t tmp[2 * Codec::kMaxBytes];
+        size_t l1 = Codec::encode(key - prev, tmp);
+        size_t l2 = Codec::encode(cur - key, tmp + l1);
         size_t new_len = l1 + l2;
+        size_t end = used_bytes(leaf, cap);
         assert(new_len >= old_len);
         assert(end + (new_len - old_len) <= cap);
         std::memmove(leaf + pos + new_len, leaf + pos + old_len,
@@ -132,50 +148,47 @@ struct CompressedLeaf {
         return true;
       }
       prev = cur;
-      pos += old_len;
     }
-    // Largest key in the leaf: append.
-    uint8_t tmp[codec::kMaxVarintBytes];
-    size_t len = codec::varint_encode(key - prev, tmp);
-    assert(pos + len <= cap);
-    std::memcpy(leaf + pos, tmp, len);
-    return true;
   }
 
   static bool remove(uint8_t* leaf, size_t cap, uint64_t key) {
     uint64_t h = head(leaf);
     if (h == 0 || key < h) return false;
-    size_t end = used_bytes(leaf, cap);
     if (key == h) {
-      if (end <= kHeadBytes) {  // only element
+      Stream s = stream(leaf, cap);
+      if (!s.next()) {  // only element
         std::memset(leaf, 0, kHeadBytes);
         return true;
       }
-      uint64_t delta;
-      size_t len = codec::varint_decode(leaf + kHeadBytes, &delta);
-      set_head(leaf, h + delta);
+      size_t len = s.pos();  // bytes of the first delta
+      set_head(leaf, s.value());
+      size_t end = used_bytes(leaf, cap);
       std::memmove(leaf + kHeadBytes, leaf + kHeadBytes + len,
                    end - kHeadBytes - len);
       std::memset(leaf + end - len, 0, len);
       return true;
     }
+    Stream s = stream(leaf, cap);
     uint64_t prev = h;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      uint64_t delta;
-      size_t l1 = codec::varint_decode(leaf + pos, &delta);
-      uint64_t cur = prev + delta;
+    while (true) {
+      size_t dpos = s.pos();
+      if (!s.next()) return false;
+      uint64_t cur = s.value();
       if (cur > key) return false;
       if (cur == key) {
-        if (pos + l1 >= end) {  // last element: drop its delta
+        size_t l1 = s.pos() - dpos;
+        size_t pos = kHeadBytes + dpos;
+        size_t npos = s.pos();
+        if (!s.next()) {  // last element: drop its delta
           std::memset(leaf + pos, 0, l1);
           return true;
         }
-        uint64_t next_delta;
-        size_t l2 = codec::varint_decode(leaf + pos + l1, &next_delta);
-        uint8_t tmp[codec::kMaxVarintBytes];
-        size_t lm = codec::varint_encode(delta + next_delta, tmp);
+        // Merge delta(key - prev) + delta(next - key) into delta(next - prev).
+        size_t l2 = s.pos() - npos;
+        uint8_t tmp[Codec::kMaxBytes];
+        size_t lm = Codec::encode(s.value() - prev, tmp);
         assert(lm <= l1 + l2);
+        size_t end = used_bytes(leaf, cap);
         std::memcpy(leaf + pos, tmp, lm);
         std::memmove(leaf + pos + lm, leaf + pos + l1 + l2,
                      end - (pos + l1 + l2));
@@ -183,9 +196,7 @@ struct CompressedLeaf {
         return true;
       }
       prev = cur;
-      pos += l1;
     }
-    return false;
   }
 
   static void decode_append(const uint8_t* leaf, size_t cap,
@@ -193,22 +204,33 @@ struct CompressedLeaf {
     uint64_t h = head(leaf);
     if (h == 0) return;
     out.push_back(h);
-    size_t end = used_bytes(leaf, cap);
-    uint64_t cur = h;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      uint64_t delta;
-      pos += codec::varint_decode(leaf + pos, &delta);
-      cur += delta;
-      out.push_back(cur);
+    Stream s = stream(leaf, cap);
+    uint64_t buf[kBlockKeys];
+    while (size_t k = s.next_block(buf, kBlockKeys)) {
+      out.insert(out.end(), buf, buf + k);
     }
+  }
+
+  // Bulk decode into a caller-sized buffer (must hold element_count keys);
+  // returns the number of keys written. The engine's pack/redistribute
+  // paths use this to fill their prefix-summed slices without a per-key
+  // callback.
+  static size_t decode_to(const uint8_t* leaf, size_t cap, uint64_t* out) {
+    uint64_t h = head(leaf);
+    if (h == 0) return 0;
+    out[0] = h;
+    size_t n = 1;
+    Stream s = stream(leaf, cap);
+    // cap bounds the element count, so blocks can be maximal.
+    while (size_t k = s.next_block(out + n, cap)) n += k;
+    return n;
   }
 
   static size_t encoded_size(const uint64_t* keys, size_t n) {
     if (n == 0) return 0;
     size_t total = kHeadBytes;
     for (size_t i = 1; i < n; ++i) {
-      total += codec::varint_size(keys[i] - keys[i - 1]);
+      total += Codec::size(keys[i] - keys[i - 1]);
     }
     return total;
   }
@@ -222,9 +244,9 @@ struct CompressedLeaf {
     set_head(leaf, keys[0]);
     size_t pos = kHeadBytes;
     for (size_t i = 1; i < n; ++i) {
-      assert(pos + codec::kMaxVarintBytes <= cap ||
-             pos + codec::varint_size(keys[i] - keys[i - 1]) <= cap);
-      pos += codec::varint_encode(keys[i] - keys[i - 1], leaf + pos);
+      assert(pos + Codec::kMaxBytes <= cap ||
+             pos + Codec::size(keys[i] - keys[i - 1]) <= cap);
+      pos += Codec::encode(keys[i] - keys[i - 1], leaf + pos);
     }
     assert(pos <= cap);
     std::memset(leaf + pos, 0, cap - pos);
@@ -233,30 +255,23 @@ struct CompressedLeaf {
   static uint64_t sum_leaf(const uint8_t* leaf, size_t cap) {
     uint64_t h = head(leaf);
     if (h == 0) return 0;
-    size_t end = used_bytes(leaf, cap);
-    uint64_t cur = h, s = h;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      uint64_t delta;
-      pos += codec::varint_decode(leaf + pos, &delta);
-      cur += delta;
-      s += cur;
+    uint64_t sum = h;
+    Stream s = stream(leaf, cap);
+    uint64_t buf[kBlockKeys];
+    while (size_t k = s.next_block(buf, kBlockKeys)) {
+      for (size_t i = 0; i < k; ++i) sum += buf[i];
     }
-    return s;
+    return sum;
   }
 
   static uint64_t last(const uint8_t* leaf, size_t cap) {
     uint64_t h = head(leaf);
     if (h == 0) return 0;
-    size_t end = used_bytes(leaf, cap);
-    uint64_t cur = h;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      uint64_t delta;
-      pos += codec::varint_decode(leaf + pos, &delta);
-      cur += delta;
+    Stream s = stream(leaf, cap);
+    uint64_t buf[kBlockKeys];
+    while (s.next_block(buf, kBlockKeys) != 0) {
     }
-    return cur;
+    return s.value();  // base (the head) if the body was empty
   }
 
   template <typename F>
@@ -264,20 +279,18 @@ struct CompressedLeaf {
     uint64_t h = head(leaf);
     if (h == 0) return true;
     if (!f(h)) return false;
-    size_t end = used_bytes(leaf, cap);
-    uint64_t cur = h;
-    size_t pos = kHeadBytes;
-    while (pos < end) {
-      uint64_t delta;
-      pos += codec::varint_decode(leaf + pos, &delta);
-      cur += delta;
-      if (!f(cur)) return false;
+    Stream s = stream(leaf, cap);
+    uint64_t buf[kBlockKeys];
+    while (size_t k = s.next_block(buf, kBlockKeys)) {
+      for (size_t i = 0; i < k; ++i) {
+        if (!f(buf[i])) return false;
+      }
     }
     return true;
   }
 
   struct Cursor {
-    size_t pos = 0;  // byte offset of the NEXT delta
+    size_t pos = 0;  // byte offset of the NEXT delta (absolute in the leaf)
     uint64_t value = 0;
   };
 
@@ -290,11 +303,39 @@ struct CompressedLeaf {
   }
 
   static bool cursor_next(const uint8_t* leaf, size_t cap, Cursor& cur) {
-    if (cur.pos >= cap || leaf[cur.pos] == 0) return false;
-    uint64_t delta;
-    cur.pos += codec::varint_decode(leaf + cur.pos, &delta);
-    cur.value += delta;
+    Stream s(leaf + kHeadBytes, cap - kHeadBytes, cur.value,
+             cur.pos - kHeadBytes);
+    if (!s.next()) return false;
+    cur.pos = kHeadBytes + s.pos();
+    cur.value = s.value();
     return true;
+  }
+
+  // Block-streaming decode for the engine's merge paths: emits the head on
+  // the first call, then whole blocks from the kernel. Returns 0 at end.
+  struct BlockCursor {
+    size_t pos = 0;
+    uint64_t value = 0;
+    bool started = false;
+  };
+
+  static size_t block_next(const uint8_t* leaf, size_t cap, BlockCursor& bc,
+                           uint64_t* out, size_t max) {
+    size_t n = 0;
+    if (!bc.started) {
+      uint64_t h = head(leaf);
+      if (h == 0) return 0;
+      bc.started = true;
+      bc.value = h;
+      bc.pos = kHeadBytes;
+      out[n++] = h;
+    }
+    Stream s(leaf + kHeadBytes, cap - kHeadBytes, bc.value,
+             bc.pos - kHeadBytes);
+    n += s.next_block(out + n, max - n);
+    bc.pos = kHeadBytes + s.pos();
+    bc.value = s.value();
+    return n;
   }
 };
 

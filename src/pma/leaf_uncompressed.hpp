@@ -99,6 +99,14 @@ struct UncompressedLeaf {
     for (uint64_t i = 0; i < n && c[i] != 0; ++i) out.push_back(c[i]);
   }
 
+  // Bulk decode into a caller-sized buffer (must hold element_count keys);
+  // returns the number of keys written.
+  static size_t decode_to(const uint8_t* leaf, size_t cap, uint64_t* out) {
+    size_t n = element_count(leaf, cap);
+    if (n != 0) std::memcpy(out, cells(leaf), n * 8);
+    return n;
+  }
+
   // Bytes `write` would use for these keys.
   static size_t encoded_size(const uint64_t* /*keys*/, size_t n) {
     return n * 8;
@@ -160,6 +168,22 @@ struct UncompressedLeaf {
     ++cur.pos;
     cur.value = c[cur.pos];
     return true;
+  }
+
+  // Block-streaming decode for the engine's merge paths (mirror of the
+  // compressed policy's kernel-backed cursor): copies runs of occupied
+  // cells. Returns 0 at end.
+  struct BlockCursor {
+    uint64_t idx = 0;
+  };
+
+  static size_t block_next(const uint8_t* leaf, size_t cap, BlockCursor& bc,
+                           uint64_t* out, size_t max) {
+    const uint64_t* c = cells(leaf);
+    uint64_t n = cap / 8;
+    size_t k = 0;
+    while (k < max && bc.idx < n && c[bc.idx] != 0) out[k++] = c[bc.idx++];
+    return k;
   }
 };
 

@@ -95,6 +95,13 @@ class PackedMemoryArray {
   bool has(key_type key) const {
     if (key == 0) return has_zero_;
     uint64_t l = find_leaf(key);
+    // Head-index fast paths: every index entry is a stored key (empty leaves
+    // inherit their predecessor's head) or 0, so an exact match is a hit and
+    // a key below its leaf's indexed head is a miss — neither touches leaf
+    // bytes, so misses that fall before the first head never decode.
+    key_type indexed = head_index_[l];
+    if (key == indexed) return true;
+    if (key < indexed || indexed == 0) return false;
     return Leaf::contains(leaf_ptr(l), leaf_bytes_, key);
   }
 
@@ -133,7 +140,11 @@ class PackedMemoryArray {
   // Smallest stored key >= `key` (paper's `search`).
   std::optional<key_type> successor(key_type key) const {
     if (key == 0 && has_zero_) return key_type{0};
-    uint64_t l = find_leaf(key == 0 ? 1 : key);
+    key_type lo = key == 0 ? 1 : key;
+    uint64_t l = find_leaf(lo);
+    // Exact head-index hit: the entry is a stored key, answer without
+    // decoding the leaf.
+    if (head_index_[l] == lo) return lo;
     if (auto v = Leaf::lower_bound(leaf_ptr(l), leaf_bytes_, key)) return v;
     for (uint64_t j = l + 1; j < num_leaves_; ++j) {
       key_type h = Leaf::head(leaf_ptr(j));
@@ -611,10 +622,11 @@ class PackedMemoryArray {
     bool operator<(const TouchedLeaf& o) const { return leaf < o.leaf; }
   };
 
-  // Reusable per-worker scratch for leaf merges (avoids two heap
-  // allocations per touched leaf).
+  // Reusable per-worker scratch for leaf merges. Leaf contents are block-
+  // streamed straight out of the decode kernel, so only the merged output
+  // needs heap storage (and it is reused across every leaf a worker
+  // touches).
   struct MergeScratch {
-    std::vector<key_type> existing;
     std::vector<key_type> merged;
   };
 

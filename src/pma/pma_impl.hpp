@@ -4,7 +4,6 @@
 // Included at the bottom of pma/pma.hpp; do not include directly.
 #pragma once
 
-#include "codec/varint.hpp"
 #include "pma/pma.hpp"
 
 namespace cpma::pma {
@@ -17,7 +16,7 @@ template <typename Leaf>
 uint64_t PackedMemoryArray<Leaf>::key_cost(key_type prev, key_type key,
                                            bool first) {
   if constexpr (Leaf::compressed) {
-    return first ? 8 : codec::varint_size(key - prev);
+    return first ? Leaf::kHeadBytes : Leaf::delta_bytes(prev, key);
   } else {
     return 8;
   }
@@ -110,11 +109,7 @@ typename PackedMemoryArray<Leaf>::kvec PackedMemoryArray<Leaf>::pack_all()
   uint64_t total = par::exclusive_scan_inplace(counts);
   kvec out(total);
   par::parallel_for(0, num_leaves_, [&](uint64_t l) {
-    uint64_t off = counts[l];
-    Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
-      out[off++] = k;
-      return true;
-    });
+    Leaf::decode_to(leaf_ptr(l), leaf_bytes_, out.data() + counts[l]);
   }, 8);
   return out;
 }
@@ -245,27 +240,85 @@ void PackedMemoryArray<Leaf>::merge_recurse(const key_type* batch,
       });
 }
 
+// Keys per refill of the merge loops' stack block; one kernel call decodes
+// a whole block, so the per-key cost is a compare and an append.
+constexpr size_t kMergeBlockKeys = 64;
+
 template <typename Leaf>
 void PackedMemoryArray<Leaf>::merge_into_leaf(uint64_t leaf,
                                               const key_type* keys,
                                               uint64_t k, BatchContext& ctx) {
   if (k == 0) return;
   MergeScratch& scratch = ctx.scratch.local();
-  std::vector<key_type>& existing = scratch.existing;
   std::vector<key_type>& merged = scratch.merged;
-  existing.clear();
-  Leaf::decode_append(leaf_ptr(leaf), leaf_bytes_, existing);
-  merged.resize(existing.size() + k);
-  if (merged.size() > (1 << 15)) {
-    par::parallel_merge(existing.data(), existing.size(), keys, k,
+  merged.clear();
+  const uint8_t* lp = leaf_ptr(leaf);
+  // Oversized slice (a skewed batch routing a huge run to one leaf): keep
+  // the serial per-key loop off the critical path — materialize and merge
+  // in parallel instead.
+  const uint64_t existing_count = Leaf::element_count(lp, leaf_bytes_);
+  if (existing_count + k > (1 << 15)) {
+    util::uvector<key_type> existing(existing_count);
+    Leaf::decode_to(lp, leaf_bytes_, existing.data());
+    merged.resize(existing_count + k);
+    par::parallel_merge(existing.data(), existing_count, keys, k,
                         merged.data());
     par::dedupe_sorted(merged);
-  } else {
-    std::merge(existing.begin(), existing.end(), keys, keys + k,
-               merged.begin());
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    const uint64_t big_added = merged.size() - existing_count;
+    const uint64_t big_need = Leaf::encoded_size(merged.data(), merged.size());
+    if (big_need <= leaf_bytes_ - kLeafSlack) {
+      Leaf::write(leaf_ptr(leaf), leaf_bytes_, merged.data(), merged.size());
+    } else {
+      ctx.overflows.local().push_back(Overflow{leaf, merged, big_need});
+    }
+    ctx.touched.local().push_back(TouchedLeaf{leaf, big_need});
+    ctx.delta.local() += big_added;
+    return;
   }
-  const uint64_t added = merged.size() - existing.size();
+  // Block-streamed merge: leaf contents come straight out of the decode
+  // kernel in stack-sized blocks, so the old leaf is never materialized as
+  // a second heap vector. Batch-internal duplicates are dropped via `last`
+  // (keys are >= 1, so 0 is a safe sentinel).
+  typename Leaf::BlockCursor bc{};
+  key_type buf[kMergeBlockKeys];
+  size_t bn = 0, bi = 0;
+  auto refill = [&] {
+    bi = 0;
+    bn = Leaf::block_next(lp, leaf_bytes_, bc, buf, kMergeBlockKeys);
+    return bn != 0;
+  };
+  uint64_t existing_n = 0;
+  uint64_t i = 0;
+  key_type last = 0;
+  bool have = refill();
+  while (have && i < k) {
+    key_type e = buf[bi], b = keys[i];
+    if (e <= b) {
+      merged.push_back(e);
+      last = e;
+      ++existing_n;
+      if (e == b) ++i;
+      if (++bi == bn) have = refill();
+    } else {
+      if (b != last) {
+        merged.push_back(b);
+        last = b;
+      }
+      ++i;
+    }
+  }
+  while (have) {
+    merged.insert(merged.end(), buf + bi, buf + bn);
+    existing_n += bn - bi;
+    have = refill();
+  }
+  for (; i < k; ++i) {
+    if (keys[i] != last) {
+      merged.push_back(keys[i]);
+      last = keys[i];
+    }
+  }
+  const uint64_t added = merged.size() - existing_n;
   const uint64_t need = Leaf::encoded_size(merged.data(), merged.size());
   if (need <= leaf_bytes_ - kLeafSlack) {
     Leaf::write(leaf_ptr(leaf), leaf_bytes_, merged.data(), merged.size());
@@ -320,15 +373,28 @@ void PackedMemoryArray<Leaf>::remove_from_leaf(uint64_t leaf,
                                                uint64_t k, BatchContext& ctx) {
   if (k == 0) return;
   MergeScratch& scratch = ctx.scratch.local();
-  std::vector<key_type>& existing = scratch.existing;
   std::vector<key_type>& kept = scratch.merged;
-  existing.clear();
-  Leaf::decode_append(leaf_ptr(leaf), leaf_bytes_, existing);
-  if (existing.empty()) return;
   kept.clear();
-  std::set_difference(existing.begin(), existing.end(), keys, keys + k,
-                      std::back_inserter(kept));
-  const uint64_t removed = existing.size() - kept.size();
+  // Block-streamed set difference: stream the leaf out of the decode kernel
+  // and drop keys matched by the (sorted) batch slice.
+  const uint8_t* lp = leaf_ptr(leaf);
+  typename Leaf::BlockCursor bc{};
+  key_type buf[kMergeBlockKeys];
+  uint64_t existing_n = 0;
+  uint64_t j = 0;
+  size_t bn;
+  while ((bn = Leaf::block_next(lp, leaf_bytes_, bc, buf, kMergeBlockKeys)) !=
+         0) {
+    existing_n += bn;
+    for (size_t bi = 0; bi < bn; ++bi) {
+      key_type e = buf[bi];
+      while (j < k && keys[j] < e) ++j;
+      if (j < k && keys[j] == e) continue;  // removed
+      kept.push_back(e);
+    }
+  }
+  if (existing_n == 0) return;
+  const uint64_t removed = existing_n - kept.size();
   if (removed == 0) return;
   // Re-encoding a subset never grows (merged deltas encode no larger than
   // the deltas they replace), so this always fits in place.
@@ -505,10 +571,7 @@ void PackedMemoryArray<Leaf>::redistribute_parallel(
         const auto& keys = it->second->keys;
         std::copy(keys.begin(), keys.end(), buffer.begin() + off);
       } else {
-        Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
-          buffer[off++] = k;
-          return true;
-        });
+        Leaf::decode_to(leaf_ptr(l), leaf_bytes_, buffer.data() + off);
       }
     }, 8);
     spread(lo, hi, buffer.data(), total);
@@ -598,10 +661,7 @@ uint64_t PackedMemoryArray<Leaf>::insert_batch_merge(const key_type* batch,
         const auto& keys = it->second->keys;
         std::copy(keys.begin(), keys.end(), all.begin() + off);
       } else {
-        Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
-          all[off++] = k;
-          return true;
-        });
+        Leaf::decode_to(leaf_ptr(l), leaf_bytes_, all.data() + off);
       }
     }, 8);
     uint64_t stream = stream_size_parallel(all.data(), all.size());

@@ -1,11 +1,14 @@
 // Tests for the varint byte codec and delta encoding: roundtrips across the
 // value-width spectrum, the no-zero-byte invariant the CPMA leaf format
-// relies on, and size accounting.
+// relies on, size accounting, and the DeltaStream decode kernel (scalar,
+// block/word-at-a-time, and the generic no-bulk-hooks fallback).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 #include "codec/delta.hpp"
+#include "codec/delta_stream.hpp"
 #include "codec/varint.hpp"
 #include "util/random.hpp"
 
@@ -121,4 +124,155 @@ TEST(Delta, EmptyRange) {
   codec::delta_encode_append(nullptr, 0, 42, buf);
   EXPECT_TRUE(buf.empty());
   EXPECT_EQ(codec::delta_encoded_size(nullptr, 0, 42), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// DeltaStream: the leaf layer's streaming decode kernel.
+// ---------------------------------------------------------------------------
+
+// A codec with none of the optional bulk hooks, forcing DeltaStream's
+// generic scalar fallbacks — the path an alternative codec starts on.
+struct ScalarOnlyCodec {
+  static constexpr const char* name = "scalar-only";
+  static constexpr size_t kMaxBytes = codec::kMaxVarintBytes;
+  static constexpr size_t size(uint64_t v) { return codec::varint_size(v); }
+  static size_t encode(uint64_t v, uint8_t* dst) {
+    return codec::varint_encode(v, dst);
+  }
+  static size_t decode(const uint8_t* src, uint64_t* out) {
+    return codec::varint_decode(src, out);
+  }
+  static size_t skip(const uint8_t* src) { return codec::varint_skip(src); }
+};
+
+namespace {
+
+// Sorted strictly-increasing keys whose deltas mix widths: `dense_bias` of
+// 0 gives all-small deltas (the word/SIMD fast path), larger values mix in
+// multi-byte deltas to force the scalar step mid-stream.
+std::vector<uint64_t> make_keys(Rng& r, size_t n, unsigned dense_bias) {
+  std::vector<uint64_t> keys(n);
+  uint64_t cur = 1 + r.next() % 1000;
+  for (auto& k : keys) {
+    uint64_t d = 1 + r.next() % 100;
+    if (dense_bias != 0 && r.next() % dense_bias == 0) {
+      d = 1 + (r.next() % (uint64_t{1} << (10 + r.next() % 30)));
+    }
+    cur += d;
+    k = cur;
+  }
+  return keys;
+}
+
+// Encodes keys[1..] as deltas into a buffer with `tail` zero bytes after the
+// stream (tail == 0 models a stream that fills its cap exactly).
+std::vector<uint8_t> encode_body(const std::vector<uint64_t>& keys,
+                                 size_t tail) {
+  std::vector<uint8_t> body;
+  codec::delta_encode_append(keys.data() + 1, keys.size() - 1, keys[0], body);
+  body.insert(body.end(), tail, 0);
+  return body;
+}
+
+}  // namespace
+
+template <typename Codec>
+class DeltaStreamTest : public ::testing::Test {};
+
+using StreamCodecs = ::testing::Types<codec::ByteVarintCodec, ScalarOnlyCodec>;
+TYPED_TEST_SUITE(DeltaStreamTest, StreamCodecs);
+
+TYPED_TEST(DeltaStreamTest, ScalarNextMatchesKeys) {
+  Rng r(21);
+  for (unsigned bias : {0u, 4u, 1u}) {
+    auto keys = make_keys(r, 500, bias);
+    auto body = encode_body(keys, 3);
+    codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
+    size_t i = 1;
+    while (s.next()) {
+      ASSERT_LT(i, keys.size());
+      EXPECT_EQ(s.value(), keys[i]);
+      ++i;
+    }
+    EXPECT_EQ(i, keys.size());
+    EXPECT_FALSE(s.next());  // stays at end
+  }
+}
+
+TYPED_TEST(DeltaStreamTest, BlockDecodeMatchesScalarAtEveryBlockSize) {
+  Rng r(22);
+  for (unsigned bias : {0u, 4u}) {
+    auto keys = make_keys(r, 700, bias);
+    auto body = encode_body(keys, 2);
+    for (size_t block : {1, 3, 8, 17, 64, 1000}) {
+      codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
+      std::vector<uint64_t> out{keys[0]};
+      std::vector<uint64_t> buf(block);
+      while (size_t k = s.next_block(buf.data(), block)) {
+        out.insert(out.end(), buf.begin(), buf.begin() + k);
+        EXPECT_EQ(s.value(), out.back());
+      }
+      EXPECT_EQ(out, keys) << "block=" << block;
+    }
+  }
+}
+
+TYPED_TEST(DeltaStreamTest, StreamFillingCapExactlyTerminatesAtCap) {
+  Rng r(23);
+  auto keys = make_keys(r, 64, 0);
+  auto body = encode_body(keys, 0);  // no terminator byte: cap is the end
+  codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
+  uint64_t buf[16];
+  std::vector<uint64_t> out{keys[0]};
+  while (size_t k = s.next_block(buf, 16)) out.insert(out.end(), buf, buf + k);
+  EXPECT_EQ(out, keys);
+  EXPECT_TRUE(s.done());
+  EXPECT_EQ(s.pos(), body.size());
+}
+
+TYPED_TEST(DeltaStreamTest, CountRemainingMatchesAndConsumes) {
+  Rng r(24);
+  for (unsigned bias : {0u, 3u}) {
+    for (size_t n : {2, 9, 100, 513}) {
+      auto keys = make_keys(r, n, bias);
+      auto body = encode_body(keys, 5);
+      codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
+      EXPECT_EQ(s.count_remaining(), n - 1);
+      EXPECT_TRUE(s.done());
+      EXPECT_EQ(s.count_remaining(), 0u);
+      // Counting after a partial scalar scan covers mid-stream starts.
+      codec::DeltaStream<TypeParam> s2(body.data(), body.size(), keys[0]);
+      ASSERT_TRUE(s2.next());
+      EXPECT_EQ(s2.count_remaining(), n - 2);
+    }
+  }
+}
+
+TYPED_TEST(DeltaStreamTest, EmptyBodyIsDone) {
+  std::vector<uint8_t> body(8, 0);
+  codec::DeltaStream<TypeParam> s(body.data(), body.size(), 99);
+  EXPECT_TRUE(s.done());
+  EXPECT_FALSE(s.next());
+  uint64_t buf[4];
+  EXPECT_EQ(s.next_block(buf, 4), 0u);
+  EXPECT_EQ(s.count_remaining(), 0u);
+  EXPECT_EQ(s.value(), 99u);
+}
+
+TEST(DeltaStream, WordFastPathCrossesMultiByteBoundaries) {
+  // Alternate long runs of 1-byte deltas with multi-byte deltas placed so
+  // varints straddle 8-byte probe windows.
+  std::vector<uint64_t> keys;
+  uint64_t cur = 5;
+  keys.push_back(cur);
+  for (int run = 0; run < 20; ++run) {
+    for (int i = 0; i < 7 + run % 5; ++i) keys.push_back(cur += 1 + i % 90);
+    keys.push_back(cur += (uint64_t{1} << (14 + run % 20)));
+  }
+  auto body = encode_body(keys, 4);
+  codec::DeltaStream<> s(body.data(), body.size(), keys[0]);
+  std::vector<uint64_t> out{keys[0]};
+  uint64_t buf[8];  // exactly the word width, maximizing window reuse
+  while (size_t k = s.next_block(buf, 8)) out.insert(out.end(), buf, buf + k);
+  EXPECT_EQ(out, keys);
 }

@@ -37,7 +37,7 @@ class LeafTest : public ::testing::Test {
   }
 };
 
-using Policies = ::testing::Types<pma::UncompressedLeaf, pma::CompressedLeaf>;
+using Policies = ::testing::Types<pma::UncompressedLeaf, pma::CompressedLeaf<>>;
 TYPED_TEST_SUITE(LeafTest, Policies);
 
 TYPED_TEST(LeafTest, EmptyLeaf) {
@@ -207,9 +207,9 @@ TEST(CompressedLeafOnly, DenseKeysUseOneBytePerDelta) {
   std::vector<uint8_t> buf(512, 0);
   std::vector<uint64_t> keys(100);
   for (size_t i = 0; i < keys.size(); ++i) keys[i] = 1000 + i;
-  pma::CompressedLeaf::write(buf.data(), buf.size(), keys.data(), keys.size());
+  pma::CompressedLeaf<>::write(buf.data(), buf.size(), keys.data(), keys.size());
   // head (8 bytes) + 99 one-byte deltas.
-  EXPECT_EQ(pma::CompressedLeaf::used_bytes(buf.data(), buf.size()),
+  EXPECT_EQ(pma::CompressedLeaf<>::used_bytes(buf.data(), buf.size()),
             8u + 99u);
 }
 
@@ -218,11 +218,11 @@ TEST(CompressedLeafOnly, InsertNeverGrowsMoreThanSlack) {
   // this protects the engine's placement precondition.
   std::vector<uint8_t> buf(512, 0);
   std::vector<uint64_t> keys{1ull << 62, (1ull << 62) + (1ull << 40)};
-  pma::CompressedLeaf::write(buf.data(), buf.size(), keys.data(), keys.size());
-  size_t before = pma::CompressedLeaf::used_bytes(buf.data(), buf.size());
-  ASSERT_TRUE(pma::CompressedLeaf::insert(buf.data(), buf.size(),
+  pma::CompressedLeaf<>::write(buf.data(), buf.size(), keys.data(), keys.size());
+  size_t before = pma::CompressedLeaf<>::used_bytes(buf.data(), buf.size());
+  ASSERT_TRUE(pma::CompressedLeaf<>::insert(buf.data(), buf.size(),
                                           (1ull << 62) + (1ull << 39)));
-  size_t after = pma::CompressedLeaf::used_bytes(buf.data(), buf.size());
+  size_t after = pma::CompressedLeaf<>::used_bytes(buf.data(), buf.size());
   EXPECT_LE(after - before, 19u);
 }
 
