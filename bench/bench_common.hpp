@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,24 @@ inline uint64_t insert_n() {
 }
 inline int trials() {
   return static_cast<int>(cpma::util::env_u64("CPMA_BENCH_TRIALS", 3));
+}
+
+// Structure filter: CPMA_BENCH_STRUCTS is a comma-separated subset of a
+// bench's structure names (e.g. "pma,cpma"). Unset/empty enables all — CI
+// uses the filter to skip the slow tree baselines on tracked runs.
+inline bool struct_enabled(const char* name) {
+  const char* v = std::getenv("CPMA_BENCH_STRUCTS");
+  if (v == nullptr || *v == '\0') return true;
+  std::string s(v);
+  std::string n(name);
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t c = s.find(',', pos);
+    if (c == std::string::npos) c = s.size();
+    if (s.compare(pos, c - pos, n) == 0) return true;
+    pos = c + 1;
+  }
+  return false;
 }
 
 // Uniform-random 40-bit keys (the paper's default microbenchmark

@@ -8,6 +8,13 @@
 // Expected shape (paper): CPMA ~3x C-PaC on average; PMA ~1.5x P-trees;
 // PMA/CPMA win most at small-to-medium batches, trees catch up at the
 // largest batches.
+//
+// Machine-readable output: one RESULT line per (structure, batch size) for
+// scripts/run_bench.py, carrying throughput and — for the PMA/CPMA engines —
+// the batch pipeline's phase breakdown, so tracked regressions are
+// attributable to route/merge/count/redistribute. CPMA_BENCH_STRUCTS
+// (comma-separated) restricts the structures; the comparative table prints
+// only when all five run.
 #include <cstdio>
 #include <vector>
 
@@ -19,18 +26,53 @@
 
 namespace {
 
+struct RowResult {
+  double tp = 0;
+  bool has_phases = false;
+  cpma::pma::BatchPhaseTimes phases;
+};
+
 template <typename S>
-double run_row(const std::vector<uint64_t>& base,
-               const std::vector<uint64_t>& inserts, uint64_t batch_size) {
-  double best = 0;
+RowResult run_row(const std::vector<uint64_t>& base,
+                  const std::vector<uint64_t>& inserts, uint64_t batch_size) {
+  RowResult r;
   for (int t = 0; t < bench::trials(); ++t) {
     S s;
     std::vector<uint64_t> b = base;
     s.insert_batch(b.data(), b.size());
+    if constexpr (requires { s.reset_batch_phase_times(); }) {
+      s.reset_batch_phase_times();
+    }
     double tp = bench::batch_insert_throughput(s, inserts, batch_size);
-    best = std::max(best, tp);
+    if (tp > r.tp) {
+      r.tp = tp;
+      if constexpr (requires { s.batch_phase_times(); }) {
+        r.has_phases = true;
+        r.phases = s.batch_phase_times();
+      }
+    }
   }
-  return best;
+  return r;
+}
+
+void emit_result(const char* name, uint64_t batch, const RowResult& r) {
+  std::printf("RESULT bench=batch_insert struct=%s batch=%llu "
+              "inserts_per_s=%.6e",
+              name, (unsigned long long)batch, r.tp);
+  if (r.has_phases) {
+    const auto& p = r.phases;
+    std::printf(" route_ns=%llu merge_ns=%llu count_ns=%llu "
+                "redistribute_ns=%llu grow_ns=%llu rebuild_ns=%llu "
+                "batches=%llu rebuilds=%llu",
+                (unsigned long long)p.route_ns, (unsigned long long)p.merge_ns,
+                (unsigned long long)p.count_ns,
+                (unsigned long long)p.redistribute_ns,
+                (unsigned long long)p.grow_ns,
+                (unsigned long long)p.rebuild_ns,
+                (unsigned long long)p.batches,
+                (unsigned long long)p.rebuilds);
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -43,24 +85,48 @@ int main() {
   std::vector<uint64_t> batch_sizes{10, 100, 1000, 10000, 100000, 1000000};
   if (bench::insert_n() >= 10'000'000) batch_sizes.push_back(10'000'000);
 
+  const bool ptree_on = bench::struct_enabled("ptree");
+  const bool upac_on = bench::struct_enabled("upac");
+  const bool pma_on = bench::struct_enabled("pma");
+  const bool cpac_on = bench::struct_enabled("cpac");
+  const bool cpma_on = bench::struct_enabled("cpma");
+  const bool all_on = ptree_on && upac_on && pma_on && cpac_on && cpma_on;
+
   cpma::util::Table table({"batch", "P-tree", "U-PaC", "PMA", "PMA/P-tree",
                            "C-PaC", "CPMA", "CPMA/C-PaC", "CPMA/PMA"});
-  table.print_header();
+  if (all_on) table.print_header();
   for (uint64_t bs : batch_sizes) {
-    double ptree = run_row<cpma::baselines::PTree>(base, inserts, bs);
-    double upac = run_row<cpma::baselines::UPacTree>(base, inserts, bs);
-    double pma = run_row<cpma::PMA>(base, inserts, bs);
-    double cpac = run_row<cpma::baselines::CPacTree>(base, inserts, bs);
-    double cc = run_row<cpma::CPMA>(base, inserts, bs);
+    RowResult ptree, upac, pma, cpac, cc;
+    if (ptree_on) {
+      ptree = run_row<cpma::baselines::PTree>(base, inserts, bs);
+      emit_result("ptree", bs, ptree);
+    }
+    if (upac_on) {
+      upac = run_row<cpma::baselines::UPacTree>(base, inserts, bs);
+      emit_result("upac", bs, upac);
+    }
+    if (pma_on) {
+      pma = run_row<cpma::PMA>(base, inserts, bs);
+      emit_result("pma", bs, pma);
+    }
+    if (cpac_on) {
+      cpac = run_row<cpma::baselines::CPacTree>(base, inserts, bs);
+      emit_result("cpac", bs, cpac);
+    }
+    if (cpma_on) {
+      cc = run_row<cpma::CPMA>(base, inserts, bs);
+      emit_result("cpma", bs, cc);
+    }
+    if (!all_on) continue;
     table.cell_u64(bs);
-    table.cell_sci(ptree);
-    table.cell_sci(upac);
-    table.cell_sci(pma);
-    table.cell_ratio(pma / ptree);
-    table.cell_sci(cpac);
-    table.cell_sci(cc);
-    table.cell_ratio(cc / cpac);
-    table.cell_ratio(cc / pma);
+    table.cell_sci(ptree.tp);
+    table.cell_sci(upac.tp);
+    table.cell_sci(pma.tp);
+    table.cell_ratio(pma.tp / ptree.tp);
+    table.cell_sci(cpac.tp);
+    table.cell_sci(cc.tp);
+    table.cell_ratio(cc.tp / cpac.tp);
+    table.cell_ratio(cc.tp / pma.tp);
     table.end_row();
   }
   return 0;

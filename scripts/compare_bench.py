@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed snapshot.
+
+Records are matched on their identifying fields (every string-valued field
+plus integer dimensions like batch=), and every *_per_s throughput field is
+compared as new/old. Exits 1 when any matched throughput falls below
+--tolerance of the snapshot — CI runs this with continue-on-error so the
+comparison is informative, not blocking (snapshots come from different
+hardware than the runners).
+
+Usage:
+    scripts/compare_bench.py BENCH_batch_insert.json fresh.json
+    scripts/compare_bench.py old.json new.json --tolerance 0.8
+"""
+
+import argparse
+import json
+import sys
+
+# Dimension keys that identify a record (when present) in addition to all
+# string-valued fields.
+ID_INT_KEYS = {"batch"}
+
+
+def record_id(record):
+    parts = []
+    for key in sorted(record):
+        value = record[key]
+        if isinstance(value, str) or key in ID_INT_KEYS:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def throughput_fields(record):
+    return {
+        k: v
+        for k, v in record.items()
+        if k.endswith("_per_s") and isinstance(v, (int, float)) and v > 0
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", help="committed snapshot JSON")
+    parser.add_argument("new", help="freshly produced JSON")
+    parser.add_argument("--tolerance", type=float, default=0.8,
+                        help="minimum acceptable new/old ratio (default 0.8)")
+    args = parser.parse_args()
+
+    with open(args.old) as fh:
+        old = json.load(fh)
+    with open(args.new) as fh:
+        new = json.load(fh)
+
+    old_by_id = {record_id(r): r for r in old.get("results", [])}
+    regressions = 0
+    compared = 0
+    for record in new.get("results", []):
+        rid = record_id(record)
+        base = old_by_id.get(rid)
+        if base is None:
+            print(f"NEW       {rid} (no snapshot record)")
+            continue
+        for field, value in throughput_fields(record).items():
+            base_value = base.get(field)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            ratio = value / base_value
+            compared += 1
+            tag = "OK   "
+            if ratio < args.tolerance:
+                tag = "REGR "
+                regressions += 1
+            print(f"{tag} {rid} {field}: {value:.3e} vs {base_value:.3e} "
+                  f"({ratio:.2f}x)")
+    print(f"compared {compared} throughput values, {regressions} below "
+          f"{args.tolerance:.2f}x")
+    sys.exit(1 if regressions else 0)
+
+
+if __name__ == "__main__":
+    main()

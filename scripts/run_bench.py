@@ -1,20 +1,23 @@
 #!/usr/bin/env python3
-"""Run a benchmark binary and persist its RESULT lines as JSON.
+"""Run benchmark binaries and persist their RESULT lines as JSON.
 
 Benchmarks print machine-parsable lines of the form
 
     RESULT bench=leaf_decode dist=dense mode=block keys_per_s=1.234e+09 ...
 
-This harness runs the binary, parses every RESULT line into a record
+This harness runs each binary, parses every RESULT line into a record
 (numbers are converted when they parse), and writes BENCH_<name>.json next
 to the repo root — the perf-trajectory artifacts successive PRs compare
-against.
+against. <name> is the records' own `bench=` field when present (so
+bench_fig1_batch_insert emits BENCH_batch_insert.json), else the binary
+name without its bench_ prefix.
 
 Usage:
     scripts/run_bench.py                          # bench_leaf_decode, ./build
-    scripts/run_bench.py --bench bench_leaf_decode --build-dir build \
-        --out BENCH_leaf_decode.json
-Extra CPMA_BENCH_* environment knobs pass straight through to the binary.
+    scripts/run_bench.py --bench bench_leaf_decode bench_fig1_batch_insert
+    scripts/run_bench.py --bench bench_fig1_batch_insert --out BENCH_x.json
+Extra CPMA_BENCH_* environment knobs pass straight through to the binaries
+(CPMA_BENCH_STRUCTS=pma,cpma keeps the batch-insert bench to the engines).
 """
 
 import argparse
@@ -51,21 +54,13 @@ def git_revision():
         return None
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", default="bench_leaf_decode",
-                        help="benchmark binary name (under <build-dir>/bench)")
-    parser.add_argument("--build-dir", default="build")
-    parser.add_argument("--out", default=None,
-                        help="output JSON path (default BENCH_<name>.json)")
-    args = parser.parse_args()
-
-    binary = os.path.join(args.build_dir, "bench", args.bench)
+def run_one(bench, build_dir, out):
+    binary = os.path.join(build_dir, "bench", bench)
     if not os.path.exists(binary):
         sys.exit(
             f"error: {binary} not found — build first: "
-            f"cmake -B {args.build_dir} -S . && "
-            f"cmake --build {args.build_dir} -j"
+            f"cmake -B {build_dir} -S . && "
+            f"cmake --build {build_dir} -j"
         )
 
     proc = subprocess.run([binary], capture_output=True, text=True)
@@ -80,13 +75,13 @@ def main():
         if line.startswith("RESULT ")
     ]
     if not results:
-        sys.exit(f"error: no RESULT lines in {args.bench} output")
+        sys.exit(f"error: no RESULT lines in {bench} output")
 
-    name = args.bench.removeprefix("bench_")
-    out_path = args.out or f"BENCH_{name}.json"
+    name = results[0].get("bench") or bench.removeprefix("bench_")
+    out_path = out or f"BENCH_{name}.json"
     payload = {
         "bench": name,
-        "binary": args.bench,
+        "binary": bench,
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "host": platform.node(),
         "machine": platform.machine(),
@@ -100,6 +95,22 @@ def main():
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {out_path} ({len(results)} records)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", nargs="+", default=["bench_leaf_decode"],
+                        help="benchmark binary names (under <build-dir>/bench)")
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (single --bench only; default "
+                             "BENCH_<name>.json)")
+    args = parser.parse_args()
+
+    if args.out and len(args.bench) > 1:
+        sys.exit("error: --out requires a single --bench")
+    for bench in args.bench:
+        run_one(bench, args.build_dir, args.out)
 
 
 if __name__ == "__main__":

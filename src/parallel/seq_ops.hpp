@@ -15,6 +15,23 @@
 
 namespace cpma::par {
 
+// Concatenates parts[0..p) into `out` (resized to the total), preserving
+// part order, with the copies running in parallel. Shared by the phase
+// boundaries of the batch pipeline (route-chunk work lists, counting-cache
+// merges): each worker produced an ordered part, and the concatenation in
+// part order preserves the global order.
+template <typename Parts, typename Vec>
+void flatten_parts(const Parts& parts, Vec& out) {
+  const uint64_t p = parts.size();
+  util::uvector<uint64_t> offsets(p);
+  for (uint64_t c = 0; c < p; ++c) offsets[c] = parts[c].size();
+  uint64_t total = exclusive_scan_inplace(offsets.data(), p);
+  out.resize(total);
+  parallel_for(0, p, [&](uint64_t c) {
+    std::copy(parts[c].begin(), parts[c].end(), out.begin() + offsets[c]);
+  }, 1);
+}
+
 // Removes duplicates from sorted `v` (keeps first of each run). Parallel
 // flag/prefix/scatter when large.
 template <typename Vec>
@@ -106,13 +123,7 @@ void merge_unique(const T* a, uint64_t na, const T* b, uint64_t nb,
       while (j < bhi && b[j] == v) ++j;
     }
   }, 1);
-  util::uvector<uint64_t> offsets(num_chunks);
-  for (uint64_t c = 0; c < num_chunks; ++c) offsets[c] = parts[c].size();
-  uint64_t total = exclusive_scan_inplace(offsets.data(), num_chunks);
-  out.resize(total);
-  parallel_for(0, num_chunks, [&](uint64_t c) {
-    std::copy(parts[c].begin(), parts[c].end(), out.begin() + offsets[c]);
-  }, 1);
+  flatten_parts(parts, out);
 }
 
 // Returns sorted unique `a` minus elements of sorted unique `b` (all
@@ -141,13 +152,7 @@ VecA sorted_difference(const VecA& a, const VecB& b) {
       if (bi == b.end() || *bi != a[i]) part.push_back(a[i]);
     }
   }, 1);
-  util::uvector<uint64_t> offsets(num_chunks);
-  for (uint64_t c = 0; c < num_chunks; ++c) offsets[c] = parts[c].size();
-  uint64_t total = exclusive_scan_inplace(offsets.data(), num_chunks);
-  out.resize(total);
-  parallel_for(0, num_chunks, [&](uint64_t c) {
-    std::copy(parts[c].begin(), parts[c].end(), out.begin() + offsets[c]);
-  }, 1);
+  flatten_parts(parts, out);
   return out;
 }
 

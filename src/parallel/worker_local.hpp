@@ -27,6 +27,11 @@ class WorkerLocal {
   size_t num_slots() const { return slots_.size(); }
   T& slot(size_t i) { return slots_[i].value; }
 
+  // Container-style views so slot sequences plug into generic helpers
+  // (e.g. par::flatten_parts, which concatenates the slots in order).
+  size_t size() const { return slots_.size(); }
+  const T& operator[](size_t i) const { return slots_[i].value; }
+
   // Single-threaded combine of vector-like slots into one vector (moves the
   // elements out of the slots).
   template <typename U = T>

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "codec/delta_stream.hpp"
+#include "util/uninitialized.hpp"
 
 namespace cpma::pma {
 
@@ -38,6 +39,9 @@ struct CompressedLeaf {
   static constexpr bool compressed = true;
   static constexpr size_t kHeadBytes = 8;
   static constexpr size_t kBlockKeys = Stream::kBlockKeys;
+  // Worst-case byte growth of one insert(): a delta split into two maximal
+  // codes (2*kMaxBytes - 1) dominates head displacement (8 + kMaxBytes).
+  static constexpr size_t kMaxInsertGrowth = 2 * Codec::kMaxBytes - 1;
 
   static uint64_t head(const uint8_t* leaf) {
     uint64_t h;
@@ -197,6 +201,106 @@ struct CompressedLeaf {
       }
       prev = cur;
     }
+  }
+
+  // Reusable scratch for merge_tail (the engine keeps one per worker).
+  struct MergeBuf {
+    util::uvector<uint8_t> bytes;
+  };
+
+  // Merges the sorted batch slice keys[0..k) into the leaf by rewriting only
+  // the byte suffix from the first splice point: the prefix below keys[0] is
+  // left untouched, the tail is re-encoded into `buf` in one streaming merge
+  // pass, and spliced back iff the result fits in max_bytes. Returns false
+  // (leaf unmodified) when the caller must take the materializing path
+  // instead: empty leaf, a batch key below the head, or overflow. On success
+  // *need_out is the merged byte count and *added_out the newly added keys.
+  static bool merge_tail(uint8_t* leaf, size_t cap, const uint64_t* keys,
+                         size_t k, size_t max_bytes, MergeBuf& buf,
+                         size_t* need_out, uint64_t* added_out) {
+    uint64_t h = head(leaf);
+    if (h == 0 || keys[0] < h) return false;
+    // Scan to the splice point: prev = last existing key < keys[0], splice =
+    // body offset of the first delta to be rewritten.
+    Stream s = stream(leaf, cap);
+    uint64_t prev = h;
+    size_t splice;
+    uint64_t e = 0;
+    bool have;
+    while (true) {
+      size_t dpos = s.pos();
+      if (!s.next()) {
+        splice = dpos;
+        have = false;
+        break;
+      }
+      if (s.value() >= keys[0]) {
+        splice = dpos;
+        e = s.value();
+        have = true;
+        break;
+      }
+      prev = s.value();
+    }
+    // Re-encode the merged tail into scratch. Upper bound: every remaining
+    // leaf byte plus a maximal code per batch key.
+    auto& out = buf.bytes;
+    out.resize((cap - kHeadBytes - splice) + k * Codec::kMaxBytes);
+    uint8_t* op = out.data();
+    size_t olen = 0;
+    uint64_t last = prev;
+    auto emit = [&](uint64_t v) {
+      olen += Codec::encode(v - last, op + olen);
+      last = v;
+    };
+    uint64_t ebuf[kBlockKeys];
+    size_t en = 0, ei = 0;
+    auto take_existing = [&]() -> bool {
+      if (ei < en) {
+        e = ebuf[ei++];
+        return true;
+      }
+      en = s.next_block(ebuf, kBlockKeys);
+      ei = 0;
+      if (en == 0) return false;
+      e = ebuf[ei++];
+      return true;
+    };
+    uint64_t added = 0;
+    size_t i = 0;
+    while (have && i < k) {
+      uint64_t b = keys[i];
+      if (e <= b) {
+        emit(e);
+        if (e == b) ++i;
+        have = take_existing();
+      } else {
+        if (b != last) {
+          emit(b);
+          ++added;
+        }
+        ++i;
+      }
+    }
+    while (have) {
+      emit(e);
+      have = take_existing();
+    }
+    for (; i < k; ++i) {
+      if (keys[i] != last) {
+        emit(keys[i]);
+        ++added;
+      }
+    }
+    const size_t need = kHeadBytes + splice + olen;
+    if (need > max_bytes) return false;
+    std::memcpy(leaf + kHeadBytes + splice, op, olen);
+    // The stream is drained, so its position is the old terminator offset.
+    const size_t old_used = kHeadBytes + s.pos();
+    if (old_used > need) std::memset(leaf + need, 0, old_used - need);
+    *need_out = need;
+    *added_out = added;
+    return true;
   }
 
   static void decode_append(const uint8_t* leaf, size_t cap,

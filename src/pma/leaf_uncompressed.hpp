@@ -4,11 +4,14 @@
 // compressed policy.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <optional>
 #include <vector>
+
+#include "util/uninitialized.hpp"
 
 namespace cpma::pma {
 
@@ -16,6 +19,8 @@ struct UncompressedLeaf {
   using key_type = uint64_t;
   static constexpr const char* name = "pma";
   static constexpr bool compressed = false;
+  // Worst-case byte growth of one insert(): one new cell.
+  static constexpr size_t kMaxInsertGrowth = 8;
 
   static const uint64_t* cells(const uint8_t* leaf) {
     return reinterpret_cast<const uint64_t*>(leaf);
@@ -89,6 +94,71 @@ struct UncompressedLeaf {
     while (cnt < n && c[cnt] != 0) ++cnt;
     std::memmove(c + i, c + i + 1, (cnt - 1 - i) * 8);
     c[cnt - 1] = 0;
+    return true;
+  }
+
+  // Reusable scratch for merge_tail (the engine keeps one per worker).
+  struct MergeBuf {
+    util::uvector<uint64_t> keys;
+  };
+
+  // Merges the sorted batch slice keys[0..k) into the leaf by rewriting only
+  // the cell suffix from the first splice point (mirror of the compressed
+  // policy's byte splice). Returns false (leaf unmodified) when the caller
+  // must materialize instead: empty leaf, batch key below the head, or
+  // overflow past max_bytes.
+  static bool merge_tail(uint8_t* leaf, size_t cap, const uint64_t* keys,
+                         size_t k, size_t max_bytes, MergeBuf& buf,
+                         size_t* need_out, uint64_t* added_out) {
+    uint64_t* c = cells(leaf);
+    const uint64_t cap_cells = cap / 8;
+    if (c[0] == 0 || keys[0] < c[0]) return false;
+    // First cell >= keys[0] or empty; the predicate is monotone because the
+    // occupied prefix is sorted and the zero tail follows it. No up-front
+    // element count: the merge below stops at the first empty cell.
+    const uint64_t i0 = static_cast<uint64_t>(
+        std::partition_point(c, c + cap_cells,
+                             [&](uint64_t v) {
+                               return v != 0 && v < keys[0];
+                             }) -
+        c);
+    auto& out = buf.keys;
+    out.resize((cap_cells - i0) + k);
+    uint64_t* op = out.data();
+    size_t o = 0;
+    uint64_t last = 0;  // keys are >= 1, so 0 is a safe dedupe sentinel
+    uint64_t added = 0;
+    uint64_t ei = i0;
+    size_t bi = 0;
+    while (ei < cap_cells && c[ei] != 0 && bi < k) {
+      if (c[ei] <= keys[bi]) {
+        if (c[ei] == keys[bi]) ++bi;
+        last = c[ei];
+        op[o++] = c[ei++];
+      } else {
+        if (keys[bi] != last) {
+          last = keys[bi];
+          op[o++] = last;
+          ++added;
+        }
+        ++bi;
+      }
+    }
+    while (ei < cap_cells && c[ei] != 0) op[o++] = c[ei++];
+    for (; bi < k; ++bi) {
+      if (keys[bi] != last) {
+        last = keys[bi];
+        op[o++] = last;
+        ++added;
+      }
+    }
+    const size_t need = (i0 + o) * 8;
+    if (need > max_bytes) return false;
+    std::memcpy(c + i0, op, o * 8);
+    const size_t old_used = ei * 8;  // ei stopped at the first empty cell
+    if (old_used > need) std::memset(leaf + need, 0, old_used - need);
+    *need_out = need;
+    *added_out = added;
     return true;
   }
 

@@ -23,12 +23,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <iterator>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "parallel/reduce.hpp"
@@ -43,6 +44,41 @@
 #include "util/uninitialized.hpp"
 
 namespace cpma::pma {
+
+// Accumulated wall-clock breakdown of the batch-update pipeline, kept by
+// every PackedMemoryArray and always compiled in: the cost is a handful of
+// steady_clock reads per BATCH (not per leaf), which is noise next to the
+// phases being measured. The bench surfaces these so batch-insert
+// regressions are attributable to a phase.
+struct BatchPhaseTimes {
+  uint64_t route_ns = 0;         // phase 1a: partition batch into leaf runs
+  uint64_t merge_ns = 0;         // phase 1b: per-leaf merges / subtractions
+  uint64_t count_ns = 0;         // phase 2: work-efficient counting
+  uint64_t redistribute_ns = 0;  // phase 3: redistribution + index repair
+  uint64_t grow_ns = 0;          // root-violation resize inside the merge path
+  uint64_t rebuild_ns = 0;       // whole-structure rebuild strategy
+  uint64_t batches = 0;          // merge-path batches measured
+  uint64_t rebuilds = 0;         // rebuild-path batches measured
+};
+
+namespace detail {
+// Lap timer for the phase boundaries above.
+class PhaseTimer {
+ public:
+  uint64_t lap() {
+    auto now = clock::now();
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_)
+            .count());
+    last_ = now;
+    return ns;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point last_ = clock::now();
+};
+}  // namespace detail
 
 template <typename Leaf>
 class PackedMemoryArray {
@@ -82,7 +118,7 @@ class PackedMemoryArray {
   // Memory used by the structure, in bytes (paper API `get_size`).
   uint64_t get_size() const {
     return data_.capacity() + head_index_.capacity() * sizeof(key_type) +
-           sizeof(*this);
+           overflow_slot_.capacity() * sizeof(uint32_t) + sizeof(*this);
   }
 
   uint64_t num_leaves() const { return num_leaves_; }
@@ -194,6 +230,11 @@ class PackedMemoryArray {
   // comparator the paper's serial batch algorithm is measured against.
   uint64_t insert_batch_serial_baseline(key_type* input, uint64_t n,
                                         bool sorted = false);
+
+  // Accumulated per-phase wall-clock times of the batch pipeline since
+  // construction (or the last reset). Cheap enough to be always on.
+  const BatchPhaseTimes& batch_phase_times() const { return phase_times_; }
+  void reset_batch_phase_times() { phase_times_ = BatchPhaseTimes{}; }
 
   // ---- scans --------------------------------------------------------------
 
@@ -606,7 +647,20 @@ class PackedMemoryArray {
   uint64_t choose_total_bytes(uint64_t stream_bytes) const;
   void resize_rebuild(bool growing);
 
-  // ---- batch machinery (pma_batch.hpp) ---------------------------------------
+  // ---- batch machinery (pma_impl.hpp) ----------------------------------------
+  //
+  // The batch-update middle is a flat four-phase pipeline:
+  //   1. route:        one parallel partition of the sorted batch against the
+  //                    head index emits a dense (leaf, begin, end) work list,
+  //                    sorted by leaf; per-leaf merges then run as one
+  //                    parallel_for over that list.
+  //   2. overflow:     out-of-place leaf overflows are tracked by a flat
+  //                    per-leaf slot array (kNoOverflow sentinel) — every
+  //                    lookup in the later phases is one array load.
+  //   3. count/redistribute: the counting cache is a sorted flat vector
+  //                    merged in parallel between levels, and region
+  //                    redistribution reuses BatchContext-owned arenas.
+  //   4. measure:      phase boundaries feed BatchPhaseTimes (always on).
 
   struct Overflow {
     uint64_t leaf;
@@ -619,46 +673,102 @@ class PackedMemoryArray {
   struct TouchedLeaf {
     uint64_t leaf;
     uint64_t bytes;
-    bool operator<(const TouchedLeaf& o) const { return leaf < o.leaf; }
   };
 
-  // Reusable per-worker scratch for leaf merges. Leaf contents are block-
-  // streamed straight out of the decode kernel, so only the merged output
-  // needs heap storage (and it is reused across every leaf a worker
-  // touches).
+  // A maximal slice of the sorted batch routed to one leaf.
+  struct LeafRun {
+    uint64_t leaf;
+    uint64_t begin;
+    uint64_t end;
+  };
+
+  // Flat overflow tracking: overflow_slot_[leaf] indexes into the batch's
+  // overflow list, or kNoOverflow. The array persists across batches with
+  // the invariant that every entry is kNoOverflow between batches (each
+  // batch resets exactly the slots it set).
+  static constexpr uint32_t kNoOverflow = UINT32_MAX;
+
+  // Sentinel byte count marking a routed leaf that a remove batch did not
+  // actually change (filtered out before the counting phase).
+  static constexpr uint64_t kUntouched = UINT64_MAX;
+
+  // Reusable per-worker scratch for leaf merges. The tail-splice fast path
+  // re-encodes into the leaf policy's MergeBuf; the materializing fallback
+  // builds the merged key list. Merge tasks never fork, so worker-local
+  // scratch cannot be re-entered by a stolen task.
   struct MergeScratch {
     std::vector<key_type> merged;
+    typename Leaf::MergeBuf tail;
   };
+
+  // Reusable per-worker pack scratch for small-region redistribution.
+  struct RegionArena {
+    util::uvector<uint64_t> counts;
+    kvec buffer;
+  };
+
+  // (node_key, bytes) entry of the counting phase's sorted flat cache.
+  using CountEntry = std::pair<uint64_t, uint64_t>;
 
   struct BatchContext {
-    par::WorkerLocal<std::vector<TouchedLeaf>> touched;
-    par::WorkerLocal<std::vector<Overflow>> overflows;
-    par::WorkerLocal<uint64_t> delta;  // keys added (insert) or removed
+    // Phase 1 (route): per-chunk run lists flattened into the dense work
+    // list, plus per-run outputs written by index (no combining, no sort).
+    std::vector<LeafRun> runs;
+    std::vector<std::vector<LeafRun>> route_parts;
+    util::uvector<TouchedLeaf> touched_dense;
+    util::uvector<uint64_t> delta_dense;  // keys added / removed per run
+    // Phase 1 (merge): per-worker scratch; overflows are rare and combined
+    // once at the phase boundary.
     par::WorkerLocal<MergeScratch> scratch;
-    std::unordered_map<uint64_t, const Overflow*> overflow_at;
+    par::WorkerLocal<std::vector<Overflow>> overflows;
+    std::vector<Overflow> overflow_list;  // slot-indexed by overflow_slot_
+    // Phase 3 arenas: region pack buffers and the counting cache, reused
+    // across regions/levels instead of allocated per region.
+    par::WorkerLocal<RegionArena> arenas;
+    util::uvector<CountEntry> count_cache;    // sorted by node_key
+    util::uvector<CountEntry> count_scratch;  // merge swap buffer
+    util::uvector<CountEntry> fresh_all;
   };
 
-  void merge_recurse(const key_type* batch, uint64_t lo, uint64_t hi,
-                     BatchContext& ctx);
-  // Serial base case of the merge recursion: routes batch[lo..hi) leaf by
-  // leaf. The recursion guarantees the slice's leaf range is disjoint from
-  // every other task's.
-  template <bool IsInsert>
-  void merge_slice_serial(const key_type* batch, uint64_t lo, uint64_t hi,
-                          BatchContext& ctx);
+  // Phase 1 routing: fills ctx.runs with the batch's leaf runs (sorted by
+  // leaf, disjoint, covering [0, n)).
+  void route_batch(const key_type* batch, uint64_t n, BatchContext& ctx) const;
+  void route_chunk(const key_type* batch, uint64_t n, uint64_t lo, uint64_t hi,
+                   std::vector<LeafRun>& out) const;
+  // End of the batch run routed to leaf l starting at batch index i, and the
+  // first candidate leaf for the next run (num_leaves_ if none).
+  std::pair<uint64_t, uint64_t> run_end(uint64_t l, const key_type* batch,
+                                        uint64_t n, uint64_t i) const;
+  // find_leaf restricted to leaves >= from (preconditions: `from` is the
+  // first leaf of its equal-head run and head_index_[from] <= key), used by
+  // the routing gallop.
+  uint64_t find_leaf_from(uint64_t from, key_type key) const {
+    // Consecutive runs usually route to consecutive leaves: if the key sits
+    // below the next head, it belongs to `from` and no search is needed.
+    uint64_t nx = from + 1;
+    if (nx >= num_leaves_ || key < head_index_[nx]) return from;
+    auto it = std::upper_bound(head_index_.begin() + from, head_index_.end(),
+                               key);
+    --it;  // safe: head_index_[from] <= key
+    auto first = std::lower_bound(head_index_.begin() + from, it, *it);
+    return static_cast<uint64_t>(first - head_index_.begin());
+  }
+
   void merge_into_leaf(uint64_t leaf, const key_type* keys, uint64_t k,
-                       BatchContext& ctx);
-  void remove_merge_recurse(const key_type* batch, uint64_t lo, uint64_t hi,
-                            BatchContext& ctx);
+                       uint64_t slot, BatchContext& ctx);
   void remove_from_leaf(uint64_t leaf, const key_type* keys, uint64_t k,
-                        BatchContext& ctx);
+                        uint64_t slot, BatchContext& ctx);
+
+  // Binds/releases the overflow slot array for ctx.overflow_list.
+  void bind_overflow_slots(BatchContext& ctx);
+  void release_overflow_slots(BatchContext& ctx);
 
   uint64_t leaf_bytes_aware(uint64_t leaf, const BatchContext& ctx) const;
 
   // Work-efficient counting phase; fills `roots` with the maximal nodes to
   // redistribute. Returns false if the root's bound is violated (caller must
-  // resize-rebuild).
-  bool counting_phase(const std::vector<TouchedLeaf>& touched_leaves,
+  // resize-rebuild). `touched` is sorted by leaf.
+  bool counting_phase(const TouchedLeaf* touched, uint64_t num_touched,
                       BatchContext& ctx, bool is_insert,
                       std::vector<NodeId>* roots);
 
@@ -666,16 +776,17 @@ class PackedMemoryArray {
   // merged into or covered by a redistribution region can have changed
   // heads (full-array rebuilds are O(num_leaves), which would dominate
   // small batches).
-  void update_index_after_batch(const std::vector<TouchedLeaf>& touched_sorted,
+  void update_index_after_batch(const TouchedLeaf* touched,
+                                uint64_t num_touched,
                                 const std::vector<NodeId>& roots) {
     ImplicitTree tree(num_leaves_);
     std::vector<std::pair<uint64_t, uint64_t>> intervals;
-    intervals.reserve(roots.size() + touched_sorted.size());
+    intervals.reserve(roots.size() + num_touched);
     for (NodeId r : roots) {
       intervals.emplace_back(tree.region_begin(r), tree.region_end(r));
     }
-    for (const TouchedLeaf& t : touched_sorted) {
-      intervals.emplace_back(t.leaf, t.leaf + 1);
+    for (uint64_t t = 0; t < num_touched; ++t) {
+      intervals.emplace_back(touched[t].leaf, touched[t].leaf + 1);
     }
     std::sort(intervals.begin(), intervals.end());
     uint64_t covered = 0;
@@ -688,6 +799,18 @@ class PackedMemoryArray {
 
   void redistribute_parallel(const std::vector<NodeId>& roots,
                              BatchContext& ctx);
+
+  // Shared prologue of insert_batch / remove_batch: sort, strip the key-0
+  // sentinel, and apply small batches as point updates. done == true means
+  // the batch was fully handled and `delta` is the return value.
+  struct BatchPrologue {
+    const key_type* keys = nullptr;
+    uint64_t n = 0;
+    uint64_t delta = 0;
+    bool done = false;
+  };
+  template <bool IsInsert>
+  BatchPrologue batch_prologue(key_type* input, uint64_t n, bool sorted);
 
   uint64_t insert_batch_merge(const key_type* batch, uint64_t n);
   uint64_t insert_batch_rebuild(const key_type* batch, uint64_t n);
@@ -703,6 +826,8 @@ class PackedMemoryArray {
   uint64_t count_ = 0;
   bool has_zero_ = false;
   std::vector<key_type> head_index_;
+  util::uvector<uint32_t> overflow_slot_;  // all kNoOverflow between batches
+  BatchPhaseTimes phase_times_;
 };
 
 }  // namespace cpma::pma

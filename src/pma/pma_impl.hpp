@@ -170,75 +170,101 @@ void PackedMemoryArray<Leaf>::resize_rebuild(bool growing) {
 }
 
 // ---------------------------------------------------------------------------
-// Batch insert (Section 4): phase 1, the recursive batch merge.
+// Batch phase 1a: flat routing. One parallel partition of the sorted batch
+// against the head-index boundaries replaces the old fork-join recursion
+// (which re-ran find_leaf plus two binary searches at every node): each
+// chunk gallops leaf by leaf — the next-head search doubles as the next
+// run's leaf locator — and the chunk lists concatenate into a dense work
+// list that is sorted by leaf by construction.
 // ---------------------------------------------------------------------------
 
-// Below this many batch keys a task routes its slice serially: per-leaf
-// merges are ~1us, so forking per leaf would be all overhead, while a grain
-// much above ~32 leaves workers idle on the small batches the merge path
-// serves. (Grain only affects constants; the recursion above it preserves
-// the span bound of Lemma 1 up to the grain factor.)
-constexpr uint64_t kMergeGrain = 256;
+// Batch keys per routing chunk. Routing a chunk costs O(runs * log) after
+// one find_leaf, so chunks only exist to expose parallelism.
+constexpr uint64_t kRouteChunkKeys = 2048;
 
 template <typename Leaf>
-template <bool IsInsert>
-void PackedMemoryArray<Leaf>::merge_slice_serial(const key_type* batch,
-                                                 uint64_t lo, uint64_t hi,
-                                                 BatchContext& ctx) {
+std::pair<uint64_t, uint64_t> PackedMemoryArray<Leaf>::run_end(
+    uint64_t l, const key_type* batch, uint64_t n, uint64_t i) const {
+  // After a redistribution nearly every leaf is nonempty, so the next
+  // distinct head is almost always at l + 1 — check before paying a binary
+  // search over the index tail.
+  uint64_t nh;
+  if (l + 1 < num_leaves_ && head_index_[l + 1] != head_index_[l]) {
+    nh = l + 1;
+  } else {
+    auto it = std::upper_bound(head_index_.begin() + l, head_index_.end(),
+                               head_index_[l]);
+    if (it == head_index_.end()) return {n, num_leaves_};
+    nh = static_cast<uint64_t>(it - head_index_.begin());
+  }
+  // Runs are typically a handful of keys: gallop from i, then binary-search
+  // the last gap (batch[i] < h because batch[i] routes to leaf l).
+  const key_type h = head_index_[nh];
+  uint64_t lo = i, step = 1;
+  while (lo + step < n && batch[lo + step] < h) {
+    lo += step;
+    step *= 2;
+  }
+  uint64_t hi = std::min(lo + step, n);
+  uint64_t e = static_cast<uint64_t>(
+      std::lower_bound(batch + lo, batch + hi, h) - batch);
+  return {e, nh};
+}
+
+template <typename Leaf>
+void PackedMemoryArray<Leaf>::route_chunk(const key_type* batch, uint64_t n,
+                                          uint64_t lo, uint64_t hi,
+                                          std::vector<LeafRun>& out) const {
+  if (lo >= hi) return;
   uint64_t i = lo;
+  uint64_t l = find_leaf(batch[i]);
+  if (lo > 0) {
+    // A run whose first key lies in an earlier chunk belongs to that chunk;
+    // skip past it.
+    uint64_t g = (l == 0) ? 0
+                          : static_cast<uint64_t>(
+                                std::lower_bound(batch, batch + n,
+                                                 head_index_[l]) -
+                                batch);
+    if (g < lo) {
+      auto [e, next_l] = run_end(l, batch, n, i);
+      i = e;
+      if (i >= hi) return;
+      l = find_leaf_from(next_l, batch[i]);
+    }
+  }
   while (i < hi) {
-    const uint64_t l = find_leaf(batch[i]);
-    uint64_t j = hi;
-    auto next_head = std::upper_bound(head_index_.begin() + l,
-                                      head_index_.end(), head_index_[l]);
-    if (next_head != head_index_.end()) {
-      j = static_cast<uint64_t>(
-          std::lower_bound(batch + i, batch + hi, *next_head) - batch);
-    }
-    if constexpr (IsInsert) {
-      merge_into_leaf(l, batch + i, j - i, ctx);
-    } else {
-      remove_from_leaf(l, batch + i, j - i, ctx);
-    }
-    i = j;
+    auto [e, next_l] = run_end(l, batch, n, i);
+    out.push_back(LeafRun{l, i, e});
+    i = e;
+    if (i >= hi) break;
+    l = find_leaf_from(next_l, batch[i]);
   }
 }
 
 template <typename Leaf>
-void PackedMemoryArray<Leaf>::merge_recurse(const key_type* batch,
-                                            uint64_t lo, uint64_t hi,
-                                            BatchContext& ctx) {
-  if (lo >= hi) return;
-  if (hi - lo <= kMergeGrain) {
-    merge_slice_serial<true>(batch, lo, hi, ctx);
+void PackedMemoryArray<Leaf>::route_batch(const key_type* batch, uint64_t n,
+                                          BatchContext& ctx) const {
+  ctx.runs.clear();
+  const uint64_t chunks = std::min<uint64_t>(
+      util::div_round_up(n, kRouteChunkKeys),
+      uint64_t{8} * par::Scheduler::instance().num_workers());
+  if (chunks <= 1) {
+    route_chunk(batch, n, 0, n, ctx.runs);
     return;
   }
-  const uint64_t mid = lo + (hi - lo) / 2;
-  const uint64_t l = find_leaf(batch[mid]);
-  // Key range owned by leaf `l` under the SNAPSHOT head index (the index is
-  // not updated during the merge phase, so routing is stable under
-  // concurrent per-leaf merges).
-  uint64_t a = lo;
-  if (l != 0) {
-    a = static_cast<uint64_t>(
-        std::lower_bound(batch + lo, batch + hi, head_index_[l]) - batch);
-  }
-  uint64_t c = hi;
-  auto next_head = std::upper_bound(head_index_.begin() + l,
-                                    head_index_.end(), head_index_[l]);
-  if (next_head != head_index_.end()) {
-    c = static_cast<uint64_t>(
-        std::lower_bound(batch + a, batch + hi, *next_head) - batch);
-  }
-  // batch[a..c) is destined for leaf l; recurse on both sides in parallel
-  // while the merge runs (Figure 4's recursion).
-  par::fork2(
-      [&] { merge_into_leaf(l, batch + a, c - a, ctx); },
-      [&] {
-        par::fork2([&] { merge_recurse(batch, lo, a, ctx); },
-                   [&] { merge_recurse(batch, c, hi, ctx); });
-      });
+  auto& parts = ctx.route_parts;
+  parts.resize(chunks);
+  par::parallel_for(0, chunks, [&](uint64_t c) {
+    parts[c].clear();
+    route_chunk(batch, n, c * n / chunks, (c + 1) * n / chunks, parts[c]);
+  }, 1);
+  par::flatten_parts(parts, ctx.runs);
 }
+
+// ---------------------------------------------------------------------------
+// Batch phase 1b: per-leaf merges over the routed work list.
+// ---------------------------------------------------------------------------
 
 // Keys per refill of the merge loops' stack block; one kernel call decodes
 // a whole block, so the per-key cost is a compare and an append.
@@ -247,38 +273,71 @@ constexpr size_t kMergeBlockKeys = 64;
 template <typename Leaf>
 void PackedMemoryArray<Leaf>::merge_into_leaf(uint64_t leaf,
                                               const key_type* keys,
-                                              uint64_t k, BatchContext& ctx) {
-  if (k == 0) return;
+                                              uint64_t k, uint64_t slot,
+                                              BatchContext& ctx) {
   MergeScratch& scratch = ctx.scratch.local();
-  std::vector<key_type>& merged = scratch.merged;
-  merged.clear();
+  const uint64_t max_bytes = leaf_bytes_ - kLeafSlack;
+  // Single-key run (the common case for small batches over many leaves):
+  // the leaf's point-insert splice needs no scratch and no tail re-encode.
+  // Guarded by the worst-case growth so the in-place write cannot overflow.
+  if (k == 1) {
+    const uint64_t used = Leaf::used_bytes(leaf_ptr(leaf), leaf_bytes_);
+    if (used + Leaf::kMaxInsertGrowth <= max_bytes) {
+      const bool inserted = Leaf::insert(leaf_ptr(leaf), leaf_bytes_, keys[0]);
+      ctx.touched_dense[slot] = TouchedLeaf{
+          leaf, inserted ? Leaf::used_bytes(leaf_ptr(leaf), leaf_bytes_)
+                         : used};
+      ctx.delta_dense[slot] = inserted ? 1 : 0;
+      return;
+    }
+  }
+  // Fast path: splice the batch into the leaf's byte suffix in place. A
+  // slice larger than the leaf's key capacity cannot fit, so don't bother
+  // scanning for its splice point.
+  if (k <= leaf_bytes_) {
+    size_t need;
+    uint64_t added;
+    if (Leaf::merge_tail(leaf_ptr(leaf), leaf_bytes_, keys, k, max_bytes,
+                         scratch.tail, &need, &added)) {
+      ctx.touched_dense[slot] = TouchedLeaf{leaf, need};
+      ctx.delta_dense[slot] = added;
+      return;
+    }
+  }
   const uint8_t* lp = leaf_ptr(leaf);
   // Oversized slice (a skewed batch routing a huge run to one leaf): keep
   // the serial per-key loop off the critical path — materialize and merge
-  // in parallel instead.
+  // in parallel. Buffers are task-local here: the nested parallel calls
+  // suspend at joins, where a stolen sibling task must not find this task's
+  // scratch in use.
   const uint64_t existing_count = Leaf::element_count(lp, leaf_bytes_);
   if (existing_count + k > (1 << 15)) {
     util::uvector<key_type> existing(existing_count);
     Leaf::decode_to(lp, leaf_bytes_, existing.data());
-    merged.resize(existing_count + k);
+    std::vector<key_type> merged(existing_count + k);
     par::parallel_merge(existing.data(), existing_count, keys, k,
                         merged.data());
     par::dedupe_sorted(merged);
     const uint64_t big_added = merged.size() - existing_count;
     const uint64_t big_need = Leaf::encoded_size(merged.data(), merged.size());
-    if (big_need <= leaf_bytes_ - kLeafSlack) {
+    if (big_need <= max_bytes) {
       Leaf::write(leaf_ptr(leaf), leaf_bytes_, merged.data(), merged.size());
     } else {
-      ctx.overflows.local().push_back(Overflow{leaf, merged, big_need});
+      ctx.overflows.local().push_back(
+          Overflow{leaf, std::move(merged), big_need});
     }
-    ctx.touched.local().push_back(TouchedLeaf{leaf, big_need});
-    ctx.delta.local() += big_added;
+    ctx.touched_dense[slot] = TouchedLeaf{leaf, big_need};
+    ctx.delta_dense[slot] = big_added;
     return;
   }
-  // Block-streamed merge: leaf contents come straight out of the decode
-  // kernel in stack-sized blocks, so the old leaf is never materialized as
-  // a second heap vector. Batch-internal duplicates are dropped via `last`
-  // (keys are >= 1, so 0 is a safe sentinel).
+  // Materializing fallback (empty leaf, batch key below the head, or the
+  // tail splice overflowed): block-stream the leaf through the decode
+  // kernel, merge into per-worker scratch, and either rewrite the leaf or
+  // park the content out-of-place until redistribution (Figure 4).
+  // Batch-internal duplicates are dropped via `last` (keys are >= 1, so 0
+  // is a safe sentinel).
+  std::vector<key_type>& merged = scratch.merged;
+  merged.clear();
   typename Leaf::BlockCursor bc{};
   key_type buf[kMergeBlockKeys];
   size_t bn = 0, bi = 0;
@@ -320,7 +379,7 @@ void PackedMemoryArray<Leaf>::merge_into_leaf(uint64_t leaf,
   }
   const uint64_t added = merged.size() - existing_n;
   const uint64_t need = Leaf::encoded_size(merged.data(), merged.size());
-  if (need <= leaf_bytes_ - kLeafSlack) {
+  if (need <= max_bytes) {
     Leaf::write(leaf_ptr(leaf), leaf_bytes_, merged.data(), merged.size());
   } else {
     // Leaf overflow: keep the merged content out-of-place until the
@@ -328,8 +387,8 @@ void PackedMemoryArray<Leaf>::merge_into_leaf(uint64_t leaf,
     // scratch (overflow is the rare case).
     ctx.overflows.local().push_back(Overflow{leaf, merged, need});
   }
-  ctx.touched.local().push_back(TouchedLeaf{leaf, need});
-  ctx.delta.local() += added;
+  ctx.touched_dense[slot] = TouchedLeaf{leaf, need};
+  ctx.delta_dense[slot] = added;
 }
 
 // ---------------------------------------------------------------------------
@@ -337,41 +396,12 @@ void PackedMemoryArray<Leaf>::merge_into_leaf(uint64_t leaf,
 // ---------------------------------------------------------------------------
 
 template <typename Leaf>
-void PackedMemoryArray<Leaf>::remove_merge_recurse(const key_type* batch,
-                                                   uint64_t lo, uint64_t hi,
-                                                   BatchContext& ctx) {
-  if (lo >= hi) return;
-  if (hi - lo <= kMergeGrain) {
-    merge_slice_serial<false>(batch, lo, hi, ctx);
-    return;
-  }
-  const uint64_t mid = lo + (hi - lo) / 2;
-  const uint64_t l = find_leaf(batch[mid]);
-  uint64_t a = lo;
-  if (l != 0) {
-    a = static_cast<uint64_t>(
-        std::lower_bound(batch + lo, batch + hi, head_index_[l]) - batch);
-  }
-  uint64_t c = hi;
-  auto next_head = std::upper_bound(head_index_.begin() + l,
-                                    head_index_.end(), head_index_[l]);
-  if (next_head != head_index_.end()) {
-    c = static_cast<uint64_t>(
-        std::lower_bound(batch + a, batch + hi, *next_head) - batch);
-  }
-  par::fork2(
-      [&] { remove_from_leaf(l, batch + a, c - a, ctx); },
-      [&] {
-        par::fork2([&] { remove_merge_recurse(batch, lo, a, ctx); },
-                   [&] { remove_merge_recurse(batch, c, hi, ctx); });
-      });
-}
-
-template <typename Leaf>
 void PackedMemoryArray<Leaf>::remove_from_leaf(uint64_t leaf,
                                                const key_type* keys,
-                                               uint64_t k, BatchContext& ctx) {
-  if (k == 0) return;
+                                               uint64_t k, uint64_t slot,
+                                               BatchContext& ctx) {
+  ctx.delta_dense[slot] = 0;
+  ctx.touched_dense[slot] = TouchedLeaf{leaf, kUntouched};
   MergeScratch& scratch = ctx.scratch.local();
   std::vector<key_type>& kept = scratch.merged;
   kept.clear();
@@ -399,10 +429,40 @@ void PackedMemoryArray<Leaf>::remove_from_leaf(uint64_t leaf,
   // Re-encoding a subset never grows (merged deltas encode no larger than
   // the deltas they replace), so this always fits in place.
   Leaf::write(leaf_ptr(leaf), leaf_bytes_, kept.data(), kept.size());
-  ctx.touched.local().push_back(
-      TouchedLeaf{leaf, Leaf::encoded_size(kept.data(), kept.size())});
-  ctx.delta.local() += removed;
+  ctx.touched_dense[slot] =
+      TouchedLeaf{leaf, Leaf::encoded_size(kept.data(), kept.size())};
+  ctx.delta_dense[slot] = removed;
 }
+
+// ---------------------------------------------------------------------------
+// Batch phase 2 bookkeeping: flat overflow slots.
+// ---------------------------------------------------------------------------
+
+template <typename Leaf>
+void PackedMemoryArray<Leaf>::bind_overflow_slots(BatchContext& ctx) {
+  if (ctx.overflow_list.empty()) return;
+  // Lazily (re)size after rebuilds; between batches every entry is
+  // kNoOverflow, so no per-batch clearing pass is needed.
+  if (overflow_slot_.size() != num_leaves_) {
+    overflow_slot_.assign(num_leaves_, kNoOverflow);
+  }
+  for (uint32_t i = 0; i < ctx.overflow_list.size(); ++i) {
+    overflow_slot_[ctx.overflow_list[i].leaf] = i;
+  }
+}
+
+template <typename Leaf>
+void PackedMemoryArray<Leaf>::release_overflow_slots(BatchContext& ctx) {
+  if (ctx.overflow_list.empty()) return;
+  // Restore the all-kNoOverflow invariant (skip if a rebuild already
+  // invalidated the array wholesale).
+  if (overflow_slot_.size() == num_leaves_) {
+    for (const Overflow& o : ctx.overflow_list) {
+      overflow_slot_[o.leaf] = kNoOverflow;
+    }
+  }
+}
+
 
 // ---------------------------------------------------------------------------
 // Phase 2: work-efficient counting (Lemmas 2 and 3).
@@ -411,9 +471,9 @@ void PackedMemoryArray<Leaf>::remove_from_leaf(uint64_t leaf,
 template <typename Leaf>
 uint64_t PackedMemoryArray<Leaf>::leaf_bytes_aware(
     uint64_t leaf, const BatchContext& ctx) const {
-  if (!ctx.overflow_at.empty()) {
-    auto it = ctx.overflow_at.find(leaf);
-    if (it != ctx.overflow_at.end()) return it->second->bytes;
+  if (!ctx.overflow_list.empty()) {
+    uint32_t s = overflow_slot_[leaf];
+    if (s != kNoOverflow) return ctx.overflow_list[s].bytes;
   }
   return Leaf::used_bytes(leaf_ptr(leaf), leaf_bytes_);
 }
@@ -421,19 +481,32 @@ uint64_t PackedMemoryArray<Leaf>::leaf_bytes_aware(
 namespace detail {
 // Counts a node's bytes, reading previously-cached counts and recording newly
 // computed ones in `fresh` (merged into the shared cache between levels so
-// every region is counted exactly once — Lemma 2). Below kBulkHeight the
-// recursion switches to a direct scan of the node's leaf range: memoizing
-// per-leaf results costs more than rescanning <= 2^kBulkHeight small leaves
-// (a bounded constant factor on the work bound).
+// every region is counted exactly once — Lemma 2). The cache is a flat
+// vector sorted by node_key: lookups are binary searches, and the
+// between-level merge is a parallel sort + merge instead of serial hash
+// inserts. Below kBulkHeight the recursion switches to a direct scan of the
+// node's leaf range: memoizing per-leaf results costs more than rescanning
+// <= 2^kBulkHeight small leaves (a bounded constant factor on the work
+// bound).
 constexpr uint64_t kBulkHeight = 3;
+
+using CountEntry = std::pair<uint64_t, uint64_t>;
+
+inline const uint64_t* cache_find(const util::uvector<CountEntry>& cache,
+                                  uint64_t key) {
+  auto it = std::lower_bound(
+      cache.begin(), cache.end(), key,
+      [](const CountEntry& e, uint64_t k) { return e.first < k; });
+  if (it != cache.end() && it->first == key) return &it->second;
+  return nullptr;
+}
 
 template <typename CountLeaf>
 uint64_t count_node(const ImplicitTree& tree, NodeId n,
-                    const std::unordered_map<uint64_t, uint64_t>& cache,
-                    std::vector<std::pair<uint64_t, uint64_t>>& fresh,
+                    const util::uvector<CountEntry>& cache,
+                    std::vector<CountEntry>& fresh,
                     const CountLeaf& count_leaf) {
-  auto it = cache.find(node_key(n));
-  if (it != cache.end()) return it->second;
+  if (const uint64_t* hit = cache_find(cache, node_key(n))) return *hit;
   uint64_t bytes;
   if (n.height <= kBulkHeight) {
     bytes = 0;
@@ -455,12 +528,13 @@ uint64_t count_node(const ImplicitTree& tree, NodeId n,
 }  // namespace detail
 
 template <typename Leaf>
-bool PackedMemoryArray<Leaf>::counting_phase(
-    const std::vector<TouchedLeaf>& touched_leaves, BatchContext& ctx,
-    bool is_insert, std::vector<NodeId>* roots) {
+bool PackedMemoryArray<Leaf>::counting_phase(const TouchedLeaf* touched,
+                                             uint64_t num_touched,
+                                             BatchContext& ctx, bool is_insert,
+                                             std::vector<NodeId>* roots) {
   ImplicitTree tree(num_leaves_);
-  std::unordered_map<uint64_t, uint64_t> cache;
-  cache.reserve(touched_leaves.size() * 2 + 16);
+  auto& cache = ctx.count_cache;
+  cache.clear();
 
   auto violates = [&](NodeId n, uint64_t bytes) {
     return is_insert ? bytes > upper_bytes(tree, n)
@@ -471,11 +545,18 @@ bool PackedMemoryArray<Leaf>::counting_phase(
   std::vector<uint64_t> to_count;  // node indices at the current level
 
   // Level 0: seed with the touched leaves. The merge phase recorded every
-  // touched leaf's byte count, so no leaf is rescanned here.
+  // touched leaf's byte count, so no leaf is rescanned here — and the
+  // routing phase hands the leaves over sorted, so parents dedupe on the
+  // fly without a sort.
   {
-    to_count.reserve(touched_leaves.size() / 4);
-    for (const TouchedLeaf& t : touched_leaves) {
-      if (violates({0, t.leaf}, t.bytes)) to_count.push_back(t.leaf / 2);
+    to_count.reserve(num_touched / 4);
+    for (uint64_t t = 0; t < num_touched; ++t) {
+      if (violates({0, touched[t].leaf}, touched[t].bytes)) {
+        uint64_t parent = touched[t].leaf / 2;
+        if (to_count.empty() || to_count.back() != parent) {
+          to_count.push_back(parent);
+        }
+      }
     }
     // A single-leaf PMA (height 0) cannot occur (kMinLeaves >= 2), but guard
     // the degenerate case anyway.
@@ -483,12 +564,15 @@ bool PackedMemoryArray<Leaf>::counting_phase(
   }
 
   // Levels are processed serially; all nodes within a level in parallel.
+  bool to_count_sorted = true;  // level-0 seed is sorted and deduped
   for (uint64_t h = 1; h <= tree.height() && !to_count.empty(); ++h) {
-    par::parallel_sort(to_count);
-    to_count.erase(std::unique(to_count.begin(), to_count.end()),
-                   to_count.end());
+    if (!to_count_sorted) {
+      par::parallel_sort(to_count);
+      to_count.erase(std::unique(to_count.begin(), to_count.end()),
+                     to_count.end());
+    }
 
-    par::WorkerLocal<std::vector<std::pair<uint64_t, uint64_t>>> fresh;
+    par::WorkerLocal<std::vector<CountEntry>> fresh;
     par::WorkerLocal<std::vector<uint64_t>> parents;
     par::WorkerLocal<std::vector<NodeId>> level_roots;
     std::atomic<bool> root_violated{false};
@@ -511,12 +595,22 @@ bool PackedMemoryArray<Leaf>::counting_phase(
     }, 1);
 
     if (root_violated.load()) return false;
-    for (size_t s = 0; s < fresh.num_slots(); ++s) {
-      for (auto& [k, v] : fresh.slot(s)) cache.emplace(k, v);
+    // Merge the level's fresh counts into the sorted cache: flatten the
+    // worker slots, parallel-sort by node_key (keys are unique — the
+    // level's nodes have disjoint subtrees), and one parallel merge with
+    // the existing cache into the swap buffer.
+    par::flatten_parts(fresh, ctx.fresh_all);
+    if (!ctx.fresh_all.empty()) {
+      par::parallel_sort(ctx.fresh_all.data(), ctx.fresh_all.size());
+      ctx.count_scratch.resize(cache.size() + ctx.fresh_all.size());
+      par::parallel_merge(cache.data(), cache.size(), ctx.fresh_all.data(),
+                          ctx.fresh_all.size(), ctx.count_scratch.data());
+      std::swap(cache, ctx.count_scratch);
     }
     auto lr = level_roots.template combined<std::vector<NodeId>>();
     found_roots.insert(found_roots.end(), lr.begin(), lr.end());
     to_count = parents.template combined<std::vector<uint64_t>>();
+    to_count_sorted = false;  // slot concatenation interleaves workers
   }
 
   // Keep only maximal regions (the redistribution intervals form a laminar
@@ -547,32 +641,61 @@ template <typename Leaf>
 void PackedMemoryArray<Leaf>::redistribute_parallel(
     const std::vector<NodeId>& roots, BatchContext& ctx) {
   ImplicitTree tree(num_leaves_);
+  const bool has_ovf = !ctx.overflow_list.empty();
+  // Regions small enough that every step below (including spread, whose
+  // serial fast path starts at 8192 keys) runs serially inside this task can
+  // use the per-worker arena: with no suspension point while the arena is
+  // live, a stolen sibling task can never observe it mid-use. Larger regions
+  // allocate task-locally and keep their internal parallelism.
+  const uint64_t arena_max_bytes = 8191;
   par::parallel_for(0, roots.size(), [&](uint64_t r) {
     NodeId node = roots[r];
     uint64_t lo = tree.region_begin(node), hi = tree.region_end(node);
     uint64_t m = hi - lo;
+    auto leaf_keys = [&](uint64_t l) -> uint64_t {
+      if (has_ovf) {
+        uint32_t s = overflow_slot_[l];
+        if (s != kNoOverflow) return ctx.overflow_list[s].keys.size();
+      }
+      return Leaf::element_count(leaf_ptr(l), leaf_bytes_);
+    };
+    auto leaf_fill = [&](uint64_t l, key_type* dst) {
+      if (has_ovf) {
+        uint32_t s = overflow_slot_[l];
+        if (s != kNoOverflow) {
+          const auto& keys = ctx.overflow_list[s].keys;
+          std::copy(keys.begin(), keys.end(), dst);
+          return;
+        }
+      }
+      Leaf::decode_to(leaf_ptr(l), leaf_bytes_, dst);
+    };
+    if (m * leaf_bytes_ <= arena_max_bytes) {
+      RegionArena& a = ctx.arenas.local();
+      a.counts.resize(m);
+      uint64_t total = 0;
+      for (uint64_t j = 0; j < m; ++j) {
+        uint64_t c = leaf_keys(lo + j);
+        a.counts[j] = total;
+        total += c;
+      }
+      a.buffer.resize(total);
+      for (uint64_t j = 0; j < m; ++j) {
+        leaf_fill(lo + j, a.buffer.data() + a.counts[j]);
+      }
+      spread(lo, hi, a.buffer.data(), total);
+      return;
+    }
     // Pack: per-leaf counts -> prefix -> decode into slices (two parallel
     // passes; each cell is touched a constant number of times).
     util::uvector<uint64_t> counts(m);
     par::parallel_for(0, m, [&](uint64_t j) {
-      uint64_t l = lo + j;
-      auto it = ctx.overflow_at.find(l);
-      counts[j] = (it != ctx.overflow_at.end())
-                      ? it->second->keys.size()
-                      : Leaf::element_count(leaf_ptr(l), leaf_bytes_);
+      counts[j] = leaf_keys(lo + j);
     }, 8);
     uint64_t total = par::exclusive_scan_inplace(counts);
     kvec buffer(total);
     par::parallel_for(0, m, [&](uint64_t j) {
-      uint64_t l = lo + j;
-      uint64_t off = counts[j];
-      auto it = ctx.overflow_at.find(l);
-      if (it != ctx.overflow_at.end()) {
-        const auto& keys = it->second->keys;
-        std::copy(keys.begin(), keys.end(), buffer.begin() + off);
-      } else {
-        Leaf::decode_to(leaf_ptr(l), leaf_bytes_, buffer.data() + off);
-      }
+      leaf_fill(lo + j, buffer.data() + counts[j]);
     }, 8);
     spread(lo, hi, buffer.data(), total);
   }, 1);
@@ -582,38 +705,72 @@ void PackedMemoryArray<Leaf>::redistribute_parallel(
 // Batch entry points.
 // ---------------------------------------------------------------------------
 
+// Shared prologue: sort, strip the key-0 sentinel (stored out-of-band), and
+// apply sub-threshold batches as point updates.
 template <typename Leaf>
-uint64_t PackedMemoryArray<Leaf>::insert_batch(key_type* input, uint64_t n,
-                                               bool sorted) {
-  if (n == 0) return 0;
+template <bool IsInsert>
+typename PackedMemoryArray<Leaf>::BatchPrologue
+PackedMemoryArray<Leaf>::batch_prologue(key_type* input, uint64_t n,
+                                        bool sorted) {
+  BatchPrologue p;
+  if (n == 0) {
+    p.done = true;
+    return p;
+  }
   if (!sorted) par::parallel_sort(input, n);
   uint64_t zeros = 0;
   while (zeros < n && input[zeros] == 0) ++zeros;
-  uint64_t added = 0;
-  if (zeros > 0 && !has_zero_) {
-    has_zero_ = true;
-    added = 1;
+  if (zeros > 0) {
+    if constexpr (IsInsert) {
+      if (!has_zero_) {
+        has_zero_ = true;
+        p.delta = 1;
+      }
+    } else {
+      if (has_zero_) {
+        has_zero_ = false;
+        p.delta = 1;
+      }
+    }
   }
-  const key_type* keys = input + zeros;
-  n -= zeros;
-  if (n == 0) return added;
-  if (n < kPointThreshold) {
-    for (uint64_t i = 0; i < n; ++i) added += insert(keys[i]) ? 1 : 0;
-    return added;
+  p.keys = input + zeros;
+  p.n = n - zeros;
+  if (p.n == 0 || (!IsInsert && count_ == 0)) {
+    p.done = true;
+    return p;
   }
+  if (p.n < kPointThreshold) {
+    for (uint64_t i = 0; i < p.n; ++i) {
+      if constexpr (IsInsert) {
+        p.delta += insert(p.keys[i]) ? 1 : 0;
+      } else {
+        p.delta += remove(p.keys[i]) ? 1 : 0;
+      }
+    }
+    p.done = true;
+  }
+  return p;
+}
+
+template <typename Leaf>
+uint64_t PackedMemoryArray<Leaf>::insert_batch(key_type* input, uint64_t n,
+                                               bool sorted) {
+  BatchPrologue p = batch_prologue<true>(input, n, sorted);
+  if (p.done) return p.delta;
   // No explicit dedupe or copy: both downstream paths deduplicate during
   // their merges (duplicates cost only redundant routing).
   // Strategy crossover (Section 4): huge batches rebuild with a two-finger
   // merge; intermediate batches run the batch-merge algorithm.
-  if (count_ == 0 || n >= count_ / 10) {
-    return added + insert_batch_rebuild(keys, n);
+  if (count_ == 0 || p.n >= count_ / 10) {
+    return p.delta + insert_batch_rebuild(p.keys, p.n);
   }
-  return added + insert_batch_merge(keys, n);
+  return p.delta + insert_batch_merge(p.keys, p.n);
 }
 
 template <typename Leaf>
 uint64_t PackedMemoryArray<Leaf>::insert_batch_rebuild(const key_type* batch,
                                                        uint64_t n) {
+  detail::PhaseTimer pt;
   kvec existing = pack_all();
   kvec merged;
   par::merge_unique(existing.data(), existing.size(), batch, n, merged);
@@ -622,6 +779,8 @@ uint64_t PackedMemoryArray<Leaf>::insert_batch_rebuild(const key_type* batch,
                    stream_size_parallel(merged.data(), merged.size())),
                merged);
   count_ = merged.size();
+  phase_times_.rebuild_ns += pt.lap();
+  ++phase_times_.rebuilds;
   return added;
 }
 
@@ -629,41 +788,57 @@ template <typename Leaf>
 uint64_t PackedMemoryArray<Leaf>::insert_batch_merge(const key_type* batch,
                                                      uint64_t n) {
   BatchContext ctx;
-  merge_recurse(batch, 0, n, ctx);
+  detail::PhaseTimer pt;
 
-  uint64_t added = 0;
-  for (size_t s = 0; s < ctx.delta.num_slots(); ++s) added += ctx.delta.slot(s);
+  // Phase 1a: one flat partition of the batch against the head index.
+  route_batch(batch, n, ctx);
+  const uint64_t num_runs = ctx.runs.size();
+  ctx.touched_dense.resize(num_runs);
+  ctx.delta_dense.resize(num_runs);
+  phase_times_.route_ns += pt.lap();
+
+  // Phase 1b: per-leaf merges, one parallel_for over the dense work list.
+  par::parallel_for(0, num_runs, [&](uint64_t r) {
+    const LeafRun& run = ctx.runs[r];
+    merge_into_leaf(run.leaf, batch + run.begin, run.end - run.begin, r, ctx);
+  }, 4);
+  uint64_t added = par::parallel_sum<uint64_t>(
+      0, num_runs, [&](uint64_t r) { return ctx.delta_dense[r]; });
   count_ += added;
+  ctx.overflow_list = ctx.overflows.template combined<std::vector<Overflow>>();
+  bind_overflow_slots(ctx);
+  phase_times_.merge_ns += pt.lap();
 
-  std::vector<TouchedLeaf> touched =
-      ctx.touched.template combined<std::vector<TouchedLeaf>>();
-  std::sort(touched.begin(), touched.end());
-  std::vector<Overflow> overflow_list =
-      ctx.overflows.template combined<std::vector<Overflow>>();
-  for (const Overflow& o : overflow_list) ctx.overflow_at.emplace(o.leaf, &o);
-
+  // The routed work list is sorted by leaf, so touched_dense is the sorted
+  // touched-leaf list the counting phase wants — no sort, no combine.
   std::vector<NodeId> roots;
-  if (!counting_phase(touched, ctx, /*is_insert=*/true, &roots)) {
+  bool root_ok = counting_phase(ctx.touched_dense.data(), num_runs, ctx,
+                                /*is_insert=*/true, &roots);
+  phase_times_.count_ns += pt.lap();
+
+  if (!root_ok) {
     // Root bound violated: grow. Pack (overflow-aware) and rebuild larger.
     util::uvector<uint64_t> counts(num_leaves_);
+    const bool has_ovf = !ctx.overflow_list.empty();
     par::parallel_for(0, num_leaves_, [&](uint64_t l) {
-      auto it = ctx.overflow_at.find(l);
-      counts[l] = (it != ctx.overflow_at.end())
-                      ? it->second->keys.size()
+      uint32_t s = has_ovf ? overflow_slot_[l] : kNoOverflow;
+      counts[l] = (s != kNoOverflow)
+                      ? ctx.overflow_list[s].keys.size()
                       : Leaf::element_count(leaf_ptr(l), leaf_bytes_);
     }, 8);
     uint64_t total = par::exclusive_scan_inplace(counts);
     kvec all(total);
     par::parallel_for(0, num_leaves_, [&](uint64_t l) {
       uint64_t off = counts[l];
-      auto it = ctx.overflow_at.find(l);
-      if (it != ctx.overflow_at.end()) {
-        const auto& keys = it->second->keys;
+      uint32_t s = has_ovf ? overflow_slot_[l] : kNoOverflow;
+      if (s != kNoOverflow) {
+        const auto& keys = ctx.overflow_list[s].keys;
         std::copy(keys.begin(), keys.end(), all.begin() + off);
       } else {
         Leaf::decode_to(leaf_ptr(l), leaf_bytes_, all.data() + off);
       }
     }, 8);
+    release_overflow_slots(ctx);
     uint64_t stream = stream_size_parallel(all.data(), all.size());
     const double g = settings_.growth_factor;
     uint64_t nt = data_.size();
@@ -672,44 +847,36 @@ uint64_t PackedMemoryArray<Leaf>::insert_batch_merge(const key_type* batch,
     } while (static_cast<double>(stream) >
              settings_.upper_root * 0.95 * static_cast<double>(nt));
     rebuild_into(nt, all);
+    phase_times_.grow_ns += pt.lap();
+    ++phase_times_.batches;
     return added;
   }
 
   redistribute_parallel(roots, ctx);
-  update_index_after_batch(touched, roots);
+  update_index_after_batch(ctx.touched_dense.data(), num_runs, roots);
+  release_overflow_slots(ctx);
+  phase_times_.redistribute_ns += pt.lap();
+  ++phase_times_.batches;
   return added;
 }
 
 template <typename Leaf>
 uint64_t PackedMemoryArray<Leaf>::remove_batch(key_type* input, uint64_t n,
                                                bool sorted) {
-  if (n == 0) return 0;
-  if (!sorted) par::parallel_sort(input, n);
-  uint64_t zeros = 0;
-  while (zeros < n && input[zeros] == 0) ++zeros;
-  uint64_t removed = 0;
-  if (zeros > 0 && has_zero_) {
-    has_zero_ = false;
-    removed = 1;
-  }
-  const key_type* keys = input + zeros;
-  n -= zeros;
-  if (n == 0 || count_ == 0) return removed;
-  if (n < kPointThreshold) {
-    for (uint64_t i = 0; i < n; ++i) removed += remove(keys[i]) ? 1 : 0;
-    return removed;
-  }
+  BatchPrologue p = batch_prologue<false>(input, n, sorted);
+  if (p.done) return p.delta;
   // Duplicates in the batch are harmless: the per-leaf set_differences and
   // the rebuild-path difference match each stored key at most once.
-  if (n >= count_ / 10) {
-    return removed + remove_batch_rebuild(keys, n);
+  if (p.n >= count_ / 10) {
+    return p.delta + remove_batch_rebuild(p.keys, p.n);
   }
-  return removed + remove_batch_merge(keys, n);
+  return p.delta + remove_batch_merge(p.keys, p.n);
 }
 
 template <typename Leaf>
 uint64_t PackedMemoryArray<Leaf>::remove_batch_rebuild(const key_type* batch,
                                                        uint64_t n) {
+  detail::PhaseTimer pt;
   kvec existing = pack_all();
   // Pointer-range view of the batch for the templated difference helper.
   struct Span {
@@ -725,6 +892,8 @@ uint64_t PackedMemoryArray<Leaf>::remove_batch_rebuild(const key_type* batch,
       choose_total_bytes(stream_size_parallel(kept.data(), kept.size())),
       kept);
   count_ = kept.size();
+  phase_times_.rebuild_ns += pt.lap();
+  ++phase_times_.rebuilds;
   return removed;
 }
 
@@ -732,26 +901,50 @@ template <typename Leaf>
 uint64_t PackedMemoryArray<Leaf>::remove_batch_merge(const key_type* batch,
                                                      uint64_t n) {
   BatchContext ctx;
-  remove_merge_recurse(batch, 0, n, ctx);
+  detail::PhaseTimer pt;
 
-  uint64_t removed = 0;
-  for (size_t s = 0; s < ctx.delta.num_slots(); ++s) {
-    removed += ctx.delta.slot(s);
-  }
+  route_batch(batch, n, ctx);
+  const uint64_t num_runs = ctx.runs.size();
+  ctx.touched_dense.resize(num_runs);
+  ctx.delta_dense.resize(num_runs);
+  phase_times_.route_ns += pt.lap();
+
+  par::parallel_for(0, num_runs, [&](uint64_t r) {
+    const LeafRun& run = ctx.runs[r];
+    remove_from_leaf(run.leaf, batch + run.begin, run.end - run.begin, r, ctx);
+  }, 4);
+  uint64_t removed = par::parallel_sum<uint64_t>(
+      0, num_runs, [&](uint64_t r) { return ctx.delta_dense[r]; });
   count_ -= removed;
-  if (removed == 0) return 0;
+  phase_times_.merge_ns += pt.lap();
+  if (removed == 0) {
+    ++phase_times_.batches;
+    return 0;
+  }
 
-  std::vector<TouchedLeaf> touched =
-      ctx.touched.template combined<std::vector<TouchedLeaf>>();
-  std::sort(touched.begin(), touched.end());
+  // Compact away the routed-but-unchanged leaves; order (by leaf) is
+  // preserved, which is what the counting phase expects.
+  uint64_t num_touched = 0;
+  for (uint64_t r = 0; r < num_runs; ++r) {
+    if (ctx.touched_dense[r].bytes != kUntouched) {
+      ctx.touched_dense[num_touched++] = ctx.touched_dense[r];
+    }
+  }
 
   std::vector<NodeId> roots;
-  if (!counting_phase(touched, ctx, /*is_insert=*/false, &roots)) {
+  bool root_ok = counting_phase(ctx.touched_dense.data(), num_touched, ctx,
+                                /*is_insert=*/false, &roots);
+  phase_times_.count_ns += pt.lap();
+  if (!root_ok) {
     resize_rebuild(/*growing=*/false);
+    phase_times_.grow_ns += pt.lap();
+    ++phase_times_.batches;
     return removed;
   }
   redistribute_parallel(roots, ctx);
-  update_index_after_batch(touched, roots);
+  update_index_after_batch(ctx.touched_dense.data(), num_touched, roots);
+  phase_times_.redistribute_ns += pt.lap();
+  ++phase_times_.batches;
   return removed;
 }
 

@@ -259,6 +259,48 @@ TYPED_TEST(DeltaStreamTest, EmptyBodyIsDone) {
   EXPECT_EQ(s.value(), 99u);
 }
 
+TYPED_TEST(DeltaStreamTest, BlockDecodeMatchesScalarOnMultiByteHeavyStreams) {
+  // bias 1 makes almost every delta multi-byte, so ByteVarintCodec's
+  // prefer_scalar probe routes next_block through the tight scalar loop;
+  // the result must be byte-identical to the scalar next() walk.
+  Rng r(29);
+  auto keys = make_keys(r, 600, 1);
+  auto body = encode_body(keys, 3);
+  for (size_t block : {1, 5, 64, 1000}) {
+    codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
+    std::vector<uint64_t> out{keys[0]};
+    std::vector<uint64_t> buf(block);
+    while (size_t k = s.next_block(buf.data(), block)) {
+      out.insert(out.end(), buf.begin(), buf.begin() + k);
+      EXPECT_EQ(s.value(), out.back());
+    }
+    EXPECT_EQ(out, keys) << "block=" << block;
+  }
+}
+
+TEST(DeltaStream, ProbeSwitchesBetweenScalarAndBlockPathsMidStream) {
+  // Long alternating stretches of 1-byte and 3-byte deltas: successive
+  // next_block calls flip between the word fast path and the scalar
+  // fallback, and the hand-offs must not lose or duplicate keys.
+  std::vector<uint64_t> keys;
+  uint64_t cur = 9;
+  keys.push_back(cur);
+  for (int run = 0; run < 12; ++run) {
+    for (int i = 0; i < 40; ++i) keys.push_back(cur += 1 + i % 100);
+    for (int i = 0; i < 40; ++i) keys.push_back(cur += 70000 + i);
+  }
+  auto body = encode_body(keys, 4);
+  for (size_t block : {8, 64}) {
+    codec::DeltaStream<> s(body.data(), body.size(), keys[0]);
+    std::vector<uint64_t> out{keys[0]};
+    std::vector<uint64_t> buf(block);
+    while (size_t k = s.next_block(buf.data(), block)) {
+      out.insert(out.end(), buf.begin(), buf.begin() + k);
+    }
+    EXPECT_EQ(out, keys) << "block=" << block;
+  }
+}
+
 TEST(DeltaStream, WordFastPathCrossesMultiByteBoundaries) {
   // Alternate long runs of 1-byte deltas with multi-byte deltas placed so
   // varints straddle 8-byte probe windows.

@@ -202,6 +202,99 @@ TYPED_TEST(LeafTest, LargeKeysNearUint64Max) {
   EXPECT_TRUE(TypeParam::contains(this->leaf(), this->kCap, ~uint64_t{0}));
 }
 
+// ---- merge_tail (the batch pipeline's suffix-splice merge) ----------------
+
+TYPED_TEST(LeafTest, MergeTailSplicesBatchIntoSuffix) {
+  std::vector<uint64_t> base{10, 20, 30, 40, 50};
+  TypeParam::write(this->leaf(), this->kCap, base.data(), base.size());
+  std::vector<uint64_t> batch{25, 35, 35, 40, 60};  // dup-in-batch + existing
+  typename TypeParam::MergeBuf buf;
+  size_t need = 0;
+  uint64_t added = 0;
+  ASSERT_TRUE(TypeParam::merge_tail(this->leaf(), this->kCap, batch.data(),
+                                    batch.size(), this->kCap - 24, buf, &need,
+                                    &added));
+  EXPECT_EQ(this->decode(),
+            (std::vector<uint64_t>{10, 20, 25, 30, 35, 40, 50, 60}));
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(need, TypeParam::used_bytes(this->leaf(), this->kCap));
+  this->expect_zero_tail();
+}
+
+TYPED_TEST(LeafTest, MergeTailRejectsEmptyLeafAndKeysBelowHead) {
+  typename TypeParam::MergeBuf buf;
+  size_t need = 0;
+  uint64_t added = 0;
+  std::vector<uint64_t> batch{5};
+  // Empty leaf: the engine's materializing path owns this case.
+  EXPECT_FALSE(TypeParam::merge_tail(this->leaf(), this->kCap, batch.data(),
+                                     1, this->kCap - 24, buf, &need, &added));
+  std::vector<uint64_t> base{10, 20};
+  TypeParam::write(this->leaf(), this->kCap, base.data(), base.size());
+  // keys[0] < head: splicing would displace the head; also materializing.
+  EXPECT_FALSE(TypeParam::merge_tail(this->leaf(), this->kCap, batch.data(),
+                                     1, this->kCap - 24, buf, &need, &added));
+  EXPECT_EQ(this->decode(), base);
+}
+
+TYPED_TEST(LeafTest, MergeTailOverflowLeavesLeafUntouched) {
+  // Fill the leaf close to its slack bound, then merge a batch that cannot
+  // fit: merge_tail must refuse without modifying a byte.
+  std::vector<uint64_t> base;
+  for (uint64_t k = 1000; TypeParam::used_bytes(this->leaf(), this->kCap) +
+                              64 <= this->kCap - 24;
+       k += 1 + k % 7) {
+    ASSERT_TRUE(TypeParam::insert(this->leaf(), this->kCap, k));
+    base.push_back(k);
+  }
+  std::vector<uint8_t> before = this->buf_;
+  std::vector<uint64_t> batch;
+  for (uint64_t i = 0; i < 64; ++i) batch.push_back(2'000'000 + i * 3);
+  typename TypeParam::MergeBuf buf;
+  size_t need = 0;
+  uint64_t added = 0;
+  EXPECT_FALSE(TypeParam::merge_tail(this->leaf(), this->kCap, batch.data(),
+                                     batch.size(), this->kCap - 24, buf,
+                                     &need, &added));
+  EXPECT_EQ(this->buf_, before);
+}
+
+TYPED_TEST(LeafTest, MergeTailRandomizedAgainstStdSet) {
+  Rng r(77);
+  for (int round = 0; round < 200; ++round) {
+    std::fill(this->buf_.begin(), this->buf_.end(), 0);
+    std::set<uint64_t> ref;
+    uint64_t span = 1 + (r.next() % 2 == 0 ? 400 : 1u << 20);
+    std::vector<uint64_t> base;
+    for (uint64_t i = 0, n = 5 + r.next() % 30; i < n; ++i) {
+      ref.insert(1 + r.next() % span);
+    }
+    base.assign(ref.begin(), ref.end());
+    TypeParam::write(this->leaf(), this->kCap, base.data(), base.size());
+    std::vector<uint64_t> batch;
+    for (uint64_t i = 0, n = 1 + r.next() % 10; i < n; ++i) {
+      batch.push_back(base[0] + r.next() % span);
+    }
+    std::sort(batch.begin(), batch.end());
+    typename TypeParam::MergeBuf buf;
+    size_t need = 0;
+    uint64_t added = 0;
+    if (!TypeParam::merge_tail(this->leaf(), this->kCap, batch.data(),
+                               batch.size(), this->kCap - 24, buf, &need,
+                               &added)) {
+      EXPECT_EQ(this->decode(), base) << "refusal must not modify the leaf";
+      continue;
+    }
+    uint64_t expect_added = 0;
+    for (uint64_t k : batch) expect_added += ref.insert(k).second ? 1 : 0;
+    EXPECT_EQ(this->decode(),
+              std::vector<uint64_t>(ref.begin(), ref.end()));
+    EXPECT_EQ(added, expect_added);
+    EXPECT_EQ(need, TypeParam::used_bytes(this->leaf(), this->kCap));
+    this->expect_zero_tail();
+  }
+}
+
 // Compressed-leaf-specific size behaviour.
 TEST(CompressedLeafOnly, DenseKeysUseOneBytePerDelta) {
   std::vector<uint8_t> buf(512, 0);

@@ -270,6 +270,97 @@ TYPED_TEST(PmaBatchTest, BatchSizesSweep) {
   }
 }
 
+TYPED_TEST(PmaBatchTest, ZipfSkewedBatchConcentratesOnOneLeaf) {
+  // Base keys spread wide; Zipf-skewed batches concentrate most keys in the
+  // lowest leaf's range (hot keys are small), so one leaf repeatedly takes
+  // nearly the whole batch while a few keys scatter elsewhere.
+  TypeParam p;
+  std::vector<uint64_t> base;
+  for (uint64_t i = 1; i <= 100000; ++i) base.push_back(i * (1ull << 22));
+  p.insert_batch(base.data(), base.size());
+  std::set<uint64_t> ref(base.begin(), base.end());
+  cpma::util::ZipfGenerator z(1 << 30, 0.99, 17);
+  uint64_t idx = 0;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<uint64_t> batch(4000);
+    for (auto& k : batch) k = z.key(idx++);
+    for (uint64_t k : batch) ref.insert(k);
+    p.insert_batch(batch.data(), batch.size());
+    ASSERT_EQ(p.size(), ref.size()) << "round " << round;
+    expect_invariants(p);
+  }
+  EXPECT_EQ(contents(p), std::vector<uint64_t>(ref.begin(), ref.end()));
+}
+
+TYPED_TEST(PmaBatchTest, BatchSizesStraddleMergeRebuildCrossover) {
+  // The strategy crossover is n >= count_/10; exercise one batch just
+  // below, at, and just above it on identically-built structures.
+  for (int64_t offset : {-1, 0, 1}) {
+    TypeParam p;
+    Rng r(42);
+    std::vector<uint64_t> base(100000);
+    for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+    p.insert_batch(base.data(), base.size());
+    const uint64_t count = p.size();
+    std::set<uint64_t> ref;
+    p.map([&](uint64_t k) { ref.insert(k); });
+    const uint64_t n =
+        static_cast<uint64_t>(static_cast<int64_t>(count / 10) + offset);
+    std::vector<uint64_t> batch(n);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+    for (uint64_t k : batch) ref.insert(k);
+    p.insert_batch(batch.data(), batch.size());
+    ASSERT_EQ(p.size(), ref.size()) << "offset " << offset;
+    expect_invariants(p);
+    EXPECT_EQ(contents(p), std::vector<uint64_t>(ref.begin(), ref.end()));
+  }
+}
+
+TYPED_TEST(PmaBatchTest, MergePathGrowsOnRootViolation) {
+  // Feed merge-regime batches (always < count/10) until the array must
+  // grow: some batch hits the root bound inside insert_batch_merge and
+  // takes the pack-and-rebuild-larger path.
+  TypeParam p;
+  Rng r(43);
+  std::vector<uint64_t> base(200000);
+  for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+  p.insert_batch(base.data(), base.size());
+  std::set<uint64_t> ref;
+  p.map([&](uint64_t k) { ref.insert(k); });
+  const uint64_t bytes_before = p.total_bytes();
+  bool grew = false;
+  for (int round = 0; round < 60 && !grew; ++round) {
+    std::vector<uint64_t> batch(p.size() / 20);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+    for (uint64_t k : batch) ref.insert(k);
+    p.insert_batch(batch.data(), batch.size());
+    ASSERT_EQ(p.size(), ref.size()) << "round " << round;
+    grew = p.total_bytes() > bytes_before;
+  }
+  ASSERT_TRUE(grew) << "no merge-path batch triggered a grow";
+  expect_invariants(p);
+  EXPECT_EQ(contents(p), std::vector<uint64_t>(ref.begin(), ref.end()));
+}
+
+TYPED_TEST(PmaBatchTest, PhaseTimesAccumulateAcrossStrategies) {
+  TypeParam p;
+  EXPECT_EQ(p.batch_phase_times().batches, 0u);
+  Rng r(44);
+  std::vector<uint64_t> base(100000);
+  for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+  p.insert_batch(base.data(), base.size());  // rebuild strategy
+  EXPECT_EQ(p.batch_phase_times().rebuilds, 1u);
+  std::vector<uint64_t> batch(2000);  // merge strategy
+  for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+  p.insert_batch(batch.data(), batch.size());
+  const auto& t = p.batch_phase_times();
+  EXPECT_EQ(t.batches, 1u);
+  EXPECT_GT(t.merge_ns, 0u);
+  p.reset_batch_phase_times();
+  EXPECT_EQ(p.batch_phase_times().batches, 0u);
+  EXPECT_EQ(p.batch_phase_times().merge_ns, 0u);
+}
+
 TYPED_TEST(PmaBatchTest, MixedPointAndBatchOperations) {
   TypeParam p;
   std::set<uint64_t> ref;
