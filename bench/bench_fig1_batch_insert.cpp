@@ -62,15 +62,16 @@ void emit_result(const char* name, uint64_t batch, const RowResult& r) {
   if (r.has_phases) {
     const auto& p = r.phases;
     std::printf(" route_ns=%llu merge_ns=%llu count_ns=%llu "
-                "redistribute_ns=%llu grow_ns=%llu rebuild_ns=%llu "
-                "batches=%llu rebuilds=%llu",
+                "redistribute_ns=%llu spread_ns=%llu rebuild_ns=%llu "
+                "batches=%llu rebuilds=%llu spreads=%llu",
                 (unsigned long long)p.route_ns, (unsigned long long)p.merge_ns,
                 (unsigned long long)p.count_ns,
                 (unsigned long long)p.redistribute_ns,
-                (unsigned long long)p.grow_ns,
+                (unsigned long long)p.spread_ns,
                 (unsigned long long)p.rebuild_ns,
                 (unsigned long long)p.batches,
-                (unsigned long long)p.rebuilds);
+                (unsigned long long)p.rebuilds,
+                (unsigned long long)p.spreads);
   }
   std::printf("\n");
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Reports files that deviate from .clang-format. Non-blocking in CI (the
-# workflow marks the job continue-on-error); run locally with no args, or
-# with --fix to rewrite files in place.
+# Reports files that deviate from .clang-format. BLOCKING in CI: a nonzero
+# exit fails the format job. Run locally with no args to check, or with
+# --fix to rewrite files in place.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -8,13 +8,19 @@ compared as new/old. Exits 1 when any matched throughput falls below
 comparison is informative, not blocking (snapshots come from different
 hardware than the runners).
 
+With --github-summary, a markdown table of the comparison is appended to the
+file named by $GITHUB_STEP_SUMMARY (or printed, when the variable is unset),
+so the result is readable from the workflow run page without digging through
+logs.
+
 Usage:
     scripts/compare_bench.py BENCH_batch_insert.json fresh.json
-    scripts/compare_bench.py old.json new.json --tolerance 0.8
+    scripts/compare_bench.py old.json new.json --tolerance 0.8 --github-summary
 """
 
 import argparse
 import json
+import os
 import sys
 
 # Dimension keys that identify a record (when present) in addition to all
@@ -39,12 +45,63 @@ def throughput_fields(record):
     }
 
 
+def compare(old, new, tolerance):
+    """Yields (tag, record_id, field, new_value, old_value, ratio) rows;
+    ratio/old_value are None for records absent from the snapshot."""
+    old_by_id = {record_id(r): r for r in old.get("results", [])}
+    for record in new.get("results", []):
+        rid = record_id(record)
+        base = old_by_id.get(rid)
+        if base is None:
+            yield ("NEW", rid, None, None, None, None)
+            continue
+        for field, value in throughput_fields(record).items():
+            base_value = base.get(field)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            ratio = value / base_value
+            tag = "OK" if ratio >= tolerance else "REGR"
+            yield (tag, rid, field, value, base_value, ratio)
+
+
+def write_summary(path, bench_name, rows, tolerance, regressions, compared):
+    lines = [
+        f"### compare_bench: `{bench_name}` (tolerance {tolerance:.2f}x)",
+        "",
+        "| status | record | field | new | snapshot | ratio |",
+        "|---|---|---|---|---|---|",
+    ]
+    for tag, rid, field, value, base_value, ratio in rows:
+        if field is None:
+            lines.append(f"| NEW | `{rid}` | — | — | — | — |")
+            continue
+        mark = "⚠️ REGR" if tag == "REGR" else "OK"
+        lines.append(
+            f"| {mark} | `{rid}` | {field} | {value:.3e} | {base_value:.3e} "
+            f"| {ratio:.2f}x |"
+        )
+    lines.append("")
+    lines.append(
+        f"compared {compared} throughput values, {regressions} below "
+        f"{tolerance:.2f}x"
+    )
+    lines.append("")
+    text = "\n".join(lines)
+    if path:
+        with open(path, "a") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("old", help="committed snapshot JSON")
     parser.add_argument("new", help="freshly produced JSON")
     parser.add_argument("--tolerance", type=float, default=0.8,
                         help="minimum acceptable new/old ratio (default 0.8)")
+    parser.add_argument("--github-summary", action="store_true",
+                        help="append a markdown table to $GITHUB_STEP_SUMMARY")
     args = parser.parse_args()
 
     with open(args.old) as fh:
@@ -52,29 +109,25 @@ def main():
     with open(args.new) as fh:
         new = json.load(fh)
 
-    old_by_id = {record_id(r): r for r in old.get("results", [])}
+    rows = list(compare(old, new, args.tolerance))
     regressions = 0
     compared = 0
-    for record in new.get("results", []):
-        rid = record_id(record)
-        base = old_by_id.get(rid)
-        if base is None:
+    for tag, rid, field, value, base_value, ratio in rows:
+        if field is None:
             print(f"NEW       {rid} (no snapshot record)")
             continue
-        for field, value in throughput_fields(record).items():
-            base_value = base.get(field)
-            if not isinstance(base_value, (int, float)) or base_value <= 0:
-                continue
-            ratio = value / base_value
-            compared += 1
-            tag = "OK   "
-            if ratio < args.tolerance:
-                tag = "REGR "
-                regressions += 1
-            print(f"{tag} {rid} {field}: {value:.3e} vs {base_value:.3e} "
-                  f"({ratio:.2f}x)")
+        compared += 1
+        if tag == "REGR":
+            regressions += 1
+        print(f"{tag:<5} {rid} {field}: {value:.3e} vs {base_value:.3e} "
+              f"({ratio:.2f}x)")
     print(f"compared {compared} throughput values, {regressions} below "
           f"{args.tolerance:.2f}x")
+
+    if args.github_summary:
+        write_summary(os.environ.get("GITHUB_STEP_SUMMARY"),
+                      new.get("bench") or args.new, rows, args.tolerance,
+                      regressions, compared)
     sys.exit(1 if regressions else 0)
 
 

@@ -147,6 +147,65 @@ struct ByteVarintCodec {
     return std::popcount(w & detail::kHighBits) >= 3;
   }
 
+  // Sums encoded values without storing them, consuming whole codes while
+  // they START before `limit` (so the caller can stop at a byte target, or
+  // pass avail to drain to the terminator); *consumed receives the bytes
+  // advanced. A leaf's delta widths are homogeneous enough that three
+  // word-probe fast paths cover most content: 8 one-byte deltas fold with a
+  // SWAR horizontal add, and uniform runs of 2-byte (4 codes/word) and
+  // 3-byte (2 codes/6 bytes) codes are recognized by their continue-bit
+  // patterns and decoded with shifts — no per-byte loop. This is what lets
+  // a resize learn a leaf's last key (head + sum of deltas) and locate its
+  // split points without ever materializing a key.
+  static uint64_t sum_run_to(const uint8_t* src, size_t avail, size_t limit,
+                             size_t* consumed) {
+    if (limit > avail) limit = avail;
+    uint64_t sum = 0;
+    size_t pos = 0;
+    while (pos + 8 <= limit) {
+      uint64_t w;
+      std::memcpy(&w, src + pos, 8);
+      // A zero byte (the terminator) masquerades as a stop byte in the
+      // width-pattern probes, so it must be excluded first.
+      if (detail::word_has_zero_byte(w)) break;
+      uint64_t hi = w & detail::kHighBits;
+      if (hi == 0) {
+        // Eight one-byte deltas: fold pairs, quads, then halves.
+        uint64_t p2 =
+            (w & 0x00FF00FF00FF00FFull) + ((w >> 8) & 0x00FF00FF00FF00FFull);
+        uint64_t p4 = (p2 & 0x0000FFFF0000FFFFull) +
+                      ((p2 >> 16) & 0x0000FFFF0000FFFFull);
+        sum += (p4 + (p4 >> 32)) & 0xFFFFFFFFull;
+        pos += 8;
+      } else if (hi == 0x0080008000800080ull) {
+        // Four 2-byte codes (continue bits 1,0 repeating).
+        sum += (w & 0x7f) | (((w >> 8) & 0x7f) << 7);
+        sum += ((w >> 16) & 0x7f) | (((w >> 24) & 0x7f) << 7);
+        sum += ((w >> 32) & 0x7f) | (((w >> 40) & 0x7f) << 7);
+        sum += ((w >> 48) & 0x7f) | (((w >> 56) & 0x7f) << 7);
+        pos += 8;
+      } else if ((w & 0x0000808080808080ull) == 0x0000008080008080ull) {
+        // Two 3-byte codes in the low six bytes (continue bits 1,1,0).
+        sum += (w & 0x7f) | (((w >> 8) & 0x7f) << 7) |
+               (((w >> 16) & 0x7f) << 14);
+        sum += ((w >> 24) & 0x7f) | (((w >> 32) & 0x7f) << 7) |
+               (((w >> 40) & 0x7f) << 14);
+        pos += 6;
+      } else {
+        uint64_t d;
+        pos += decode(src + pos, &d);
+        sum += d;
+      }
+    }
+    while (pos < limit && src[pos] != 0) {
+      uint64_t d;
+      pos += decode(src + pos, &d);
+      sum += d;
+    }
+    *consumed = pos;
+    return sum;
+  }
+
   // Counts the encoded values in src[0..avail) up to the terminator without
   // decoding them; *consumed receives the bytes advanced. Every value ends
   // in exactly one byte with a clear continue bit, so a window's value count
@@ -186,6 +245,12 @@ concept HasCountRun = requires(const uint8_t* p, size_t a, size_t* c) {
 template <typename Codec>
 concept HasPreferScalar = requires(const uint8_t* p, size_t a) {
   { Codec::prefer_scalar(p, a) } -> std::same_as<bool>;
+};
+
+template <typename Codec>
+concept HasSumRunTo = requires(const uint8_t* p, size_t a, size_t t,
+                               size_t* c) {
+  { Codec::sum_run_to(p, a, t, c) } -> std::same_as<uint64_t>;
 };
 
 // Streaming decoder over a delta run. `value()` starts at the caller's base
@@ -253,6 +318,28 @@ class DeltaStream {
       return n;
     }
   }
+
+  // Consumes whole codes while they start before run offset `target`:
+  // afterwards pos() is the first code boundary at or past target (or the
+  // terminator) and value() has accumulated the skipped deltas. The
+  // direct-spread resize uses this to find split keys without materializing
+  // the run.
+  void seek(size_t target) {
+    if (pos_ >= cap_ || target <= pos_) return;
+    if constexpr (HasSumRunTo<Codec>) {
+      size_t consumed = 0;
+      value_ += Codec::sum_run_to(data_ + pos_, cap_ - pos_, target - pos_,
+                                  &consumed);
+      pos_ += consumed;
+    } else {
+      while (pos_ < target && next()) {
+      }
+    }
+  }
+
+  // Consumes the rest of the stream: afterwards pos() is the terminator
+  // offset (the run's used bytes) and value() is the run's last key.
+  void drain() { seek(cap_); }
 
   // Number of keys left in the stream; consumes them (the stream ends at
   // the terminator afterwards). Does not decode values.

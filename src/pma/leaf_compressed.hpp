@@ -303,6 +303,232 @@ struct CompressedLeaf {
     return true;
   }
 
+  // Subtracts the sorted batch slice keys[0..k) from the leaf by rewriting
+  // only the byte suffix from the first removable key (mirror of merge_tail):
+  // the prefix below the first matching key is left untouched and the tail is
+  // re-encoded into `buf` in one streaming pass. A re-encoded subset never
+  // grows (merged deltas encode no larger than the deltas they replace), so
+  // there is no overflow refusal — the only refusal (false, leaf unmodified)
+  // is an empty leaf. On success *removed_out is the number of keys dropped;
+  // when it is 0 the leaf was not modified and *need_out is unspecified.
+  static bool remove_tail(uint8_t* leaf, size_t cap, const uint64_t* keys,
+                          size_t k, MergeBuf& buf, size_t* need_out,
+                          uint64_t* removed_out) {
+    uint64_t h = head(leaf);
+    if (h == 0) return false;
+    // Batch keys below the head are absent by definition.
+    size_t j = static_cast<size_t>(
+        std::lower_bound(keys, keys + k, h) - keys);
+    if (j == k) {
+      *removed_out = 0;
+      return true;
+    }
+    // Scan to the splice point: the first existing key >= keys[j]. If the
+    // head itself matches, the splice starts at the head and the first
+    // surviving key is promoted into it.
+    Stream s = stream(leaf, cap);
+    uint64_t prev = h;
+    size_t splice = 0;
+    bool at_head = (keys[j] == h);
+    bool have = at_head;
+    uint64_t e = h;
+    if (!at_head) {
+      while (true) {
+        size_t dpos = s.pos();
+        if (!s.next()) {
+          have = false;
+          break;
+        }
+        if (s.value() >= keys[j]) {
+          splice = dpos;
+          e = s.value();
+          have = true;
+          break;
+        }
+        prev = s.value();
+      }
+      if (!have) {  // every existing key < keys[j]: nothing to remove
+        *removed_out = 0;
+        return true;
+      }
+    }
+    auto& out = buf.bytes;
+    out.resize(cap);  // survivors re-encode no larger than the leaf
+    uint8_t* op = out.data();
+    size_t olen = 0;
+    uint64_t last = prev;
+    uint64_t new_head = 0;  // first survivor when splicing at the head
+    bool head_open = at_head;
+    auto emit = [&](uint64_t v) {
+      if (head_open) {
+        new_head = v;
+        head_open = false;
+      } else {
+        olen += Codec::encode(v - last, op + olen);
+      }
+      last = v;
+    };
+    uint64_t ebuf[kBlockKeys];
+    size_t en = 0, ei = 0;
+    auto take_existing = [&]() -> bool {
+      if (ei < en) {
+        e = ebuf[ei++];
+        return true;
+      }
+      en = s.next_block(ebuf, kBlockKeys);
+      ei = 0;
+      if (en == 0) return false;
+      e = ebuf[ei++];
+      return true;
+    };
+    uint64_t removed = 0;
+    while (have) {
+      while (j < k && keys[j] < e) ++j;
+      if (j < k && keys[j] == e) {
+        ++removed;
+      } else {
+        emit(e);
+      }
+      have = take_existing();
+    }
+    if (removed == 0) {  // scratch pass found nothing to drop
+      *removed_out = 0;
+      return true;
+    }
+    // The stream is drained, so its position is the old terminator offset.
+    const size_t old_used = kHeadBytes + s.pos();
+    size_t need;
+    if (at_head) {
+      if (head_open) {
+        need = 0;  // every key removed
+      } else {
+        set_head(leaf, new_head);
+        std::memcpy(leaf + kHeadBytes, op, olen);
+        need = kHeadBytes + olen;
+      }
+    } else {
+      std::memcpy(leaf + kHeadBytes + splice, op, olen);
+      need = kHeadBytes + splice + olen;
+    }
+    if (old_used > need) std::memset(leaf + need, 0, old_used - need);
+    *need_out = need;
+    *removed_out = removed;
+    return true;
+  }
+
+  // ---- direct-spread resize primitives ------------------------------------
+  // A leaf's CONTENT is addressed in bytes: offsets [0, kHeadBytes) are the
+  // head, and each later key's code starts where the previous one ended. A
+  // resize re-spreads content by copying code ranges verbatim — a mid-leaf
+  // run's delta chain stays valid wherever it lands, because the key
+  // preceding the run becomes the destination leaf's head — re-encoding only
+  // at source-leaf joins and at the keys promoted into destination heads.
+
+  // Split point for the direct spread: the first key whose content offset is
+  // >= some target. `off` is that key's code start (0 for the head), `next`
+  // is one past its code (where a copy continuing after the key begins),
+  // and `key` its decoded value.
+  struct SpreadPoint {
+    size_t off = 0;
+    size_t next = 0;
+    uint64_t key = 0;
+  };
+
+  // One-pass split emitter: streams the leaf forward once, visiting every
+  // destination boundary target that lands inside it (ascending), then
+  // drains to the last key — the resize's only decoding pass. Boundary
+  // targets are absolute content-coordinate bytes; `base` is the leaf's
+  // coordinate start and `limit` its end. emit(j, point, sliver) fires once
+  // per boundary j; sliver means the target fell past the last key's code
+  // start (the engine resolves it to the next nonempty leaf's head).
+  class SpreadSeeker {
+   public:
+    SpreadSeeker(const uint8_t* leaf, size_t cap)
+        : head_(head(leaf)), s_(stream(leaf, cap)) {}
+
+    template <typename Emit>
+    uint64_t split_targets(uint64_t base, uint64_t budget, uint64_t j,
+                           uint64_t limit, Emit&& emit) {
+      for (; j * budget < limit; ++j) {
+        size_t target = static_cast<size_t>(j * budget - base);
+        if (target == 0) {
+          emit(j, SpreadPoint{0, kHeadBytes, head_}, false);
+          continue;
+        }
+        s_.seek(target <= kHeadBytes ? 0 : target - kHeadBytes);
+        size_t off = kHeadBytes + s_.pos();
+        if (!s_.next()) {
+          emit(j, SpreadPoint{}, true);
+          continue;
+        }
+        emit(j, SpreadPoint{off, kHeadBytes + s_.pos(), s_.value()}, false);
+      }
+      s_.drain();
+      return s_.value();  // the leaf's last key
+    }
+
+   private:
+    uint64_t head_;
+    Stream s_;
+  };
+
+  // Streaming writer that assembles one destination leaf out of source
+  // content ranges. The engine maintains `last` (the last key written) from
+  // its per-source-leaf stats between calls; append_keys tracks it itself.
+  struct SpreadWriter {
+    uint8_t* dst = nullptr;
+    size_t cap = 0;
+    size_t pos = 0;
+    uint64_t last = 0;
+  };
+
+  static void spread_begin(SpreadWriter& w, uint8_t* dst, size_t cap,
+                           uint64_t first_key) {
+    w.dst = dst;
+    w.cap = cap;
+    set_head(dst, first_key);
+    w.pos = kHeadBytes;
+    w.last = first_key;
+  }
+
+  // Copies source content bytes [from, to) verbatim; the key preceding
+  // offset `from` must already be in the destination (== w.last).
+  static void spread_copy_tail(SpreadWriter& w, const uint8_t* src,
+                               size_t from, size_t to) {
+    assert(from >= kHeadBytes && to >= from);
+    assert(w.pos + (to - from) <= w.cap);
+    std::memcpy(w.dst + w.pos, src + from, to - from);
+    w.pos += to - from;
+  }
+
+  // Splices the start of another source leaf: its head re-encodes as a delta
+  // from w.last, then its content bytes [kHeadBytes, to) copy verbatim.
+  static void spread_join(SpreadWriter& w, const uint8_t* src,
+                          uint64_t src_head, size_t to) {
+    assert(w.pos + Codec::kMaxBytes <= w.cap);
+    w.pos += Codec::encode(src_head - w.last, w.dst + w.pos);
+    w.last = src_head;
+    spread_copy_tail(w, src, kHeadBytes, to);
+  }
+
+  // Appends keys[0..n) (all > w.last) by encoding; used for content that
+  // only exists as flat keys (a batch's overflowed leaves).
+  static void spread_append_keys(SpreadWriter& w, const uint64_t* keys,
+                                 size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      assert(w.pos + Codec::kMaxBytes <= w.cap);
+      w.pos += Codec::encode(keys[i] - w.last, w.dst + w.pos);
+      w.last = keys[i];
+    }
+  }
+
+  // Zero-fills the tail; returns the destination's used bytes.
+  static size_t spread_finish(SpreadWriter& w) {
+    assert(w.pos <= w.cap);
+    std::memset(w.dst + w.pos, 0, w.cap - w.pos);
+    return w.pos;
+  }
+
   static void decode_append(const uint8_t* leaf, size_t cap,
                             std::vector<uint64_t>& out) {
     uint64_t h = head(leaf);

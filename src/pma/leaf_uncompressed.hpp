@@ -162,6 +162,136 @@ struct UncompressedLeaf {
     return true;
   }
 
+  // Subtracts the sorted batch slice keys[0..k) from the leaf by compacting
+  // only the cell suffix from the first removable key (mirror of the
+  // compressed policy's byte splice; removal never grows, so the compaction
+  // is done in place and `buf` goes unused). The only refusal (false, leaf
+  // unmodified) is an empty leaf; *removed_out == 0 also means untouched.
+  static bool remove_tail(uint8_t* leaf, size_t cap, const uint64_t* keys,
+                          size_t k, MergeBuf& /*buf*/, size_t* need_out,
+                          uint64_t* removed_out) {
+    uint64_t* c = cells(leaf);
+    const uint64_t cap_cells = cap / 8;
+    if (c[0] == 0) return false;
+    size_t j = static_cast<size_t>(
+        std::lower_bound(keys, keys + k, c[0]) - keys);
+    if (j == k) {
+      *removed_out = 0;
+      return true;
+    }
+    // First cell >= keys[j] (monotone: sorted occupied prefix, zero tail).
+    const uint64_t i0 = static_cast<uint64_t>(
+        std::partition_point(c, c + cap_cells,
+                             [&](uint64_t v) {
+                               return v != 0 && v < keys[j];
+                             }) -
+        c);
+    uint64_t w = i0;
+    uint64_t removed = 0;
+    uint64_t r = i0;
+    for (; r < cap_cells && c[r] != 0; ++r) {
+      while (j < k && keys[j] < c[r]) ++j;
+      if (j < k && keys[j] == c[r]) {
+        ++removed;
+        continue;
+      }
+      c[w++] = c[r];
+    }
+    if (removed == 0) {
+      *removed_out = 0;
+      return true;
+    }
+    std::memset(c + w, 0, (r - w) * 8);
+    *need_out = w * 8;
+    *removed_out = removed;
+    return true;
+  }
+
+  // ---- direct-spread resize primitives ------------------------------------
+  // Content offsets are cell offsets: key r lives at byte 8*r (offset 0 is
+  // the head, which for this policy is just the first cell). Copy ranges are
+  // raw memcpy; nothing re-encodes at joins.
+
+  struct SpreadPoint {
+    size_t off = 0;
+    size_t next = 0;
+    uint64_t key = 0;
+  };
+
+  // One-pass split emitter (mirror of the compressed policy's; here every
+  // "walk" is O(1) cell indexing). `base`/`limit` bound the leaf's absolute
+  // content-coordinate range, so limit - base is its used byte count.
+  class SpreadSeeker {
+   public:
+    SpreadSeeker(const uint8_t* leaf, size_t /*cap*/) : c_(cells(leaf)) {}
+
+    template <typename Emit>
+    uint64_t split_targets(uint64_t base, uint64_t budget, uint64_t j,
+                           uint64_t limit, Emit&& emit) {
+      const uint64_t used = limit - base;
+      for (; j * budget < limit; ++j) {
+        size_t target = static_cast<size_t>(j * budget - base);
+        uint64_t r = (target + 7) / 8;
+        if (r * 8 >= used) {
+          emit(j, SpreadPoint{}, true);
+        } else {
+          emit(j, SpreadPoint{r * 8, r * 8 + 8, c_[r]}, false);
+        }
+      }
+      return c_[used / 8 - 1];  // the leaf's last key
+    }
+
+   private:
+    const uint64_t* c_;
+  };
+
+  struct SpreadWriter {
+    uint8_t* dst = nullptr;
+    size_t cap = 0;
+    size_t pos = 0;
+    uint64_t last = 0;
+  };
+
+  static void spread_begin(SpreadWriter& w, uint8_t* dst, size_t cap,
+                           uint64_t first_key) {
+    w.dst = dst;
+    w.cap = cap;
+    std::memcpy(dst, &first_key, 8);
+    w.pos = 8;
+    w.last = first_key;
+  }
+
+  static void spread_copy_tail(SpreadWriter& w, const uint8_t* src,
+                               size_t from, size_t to) {
+    assert(from >= 8 && to >= from);
+    assert(w.pos + (to - from) <= w.cap);
+    std::memcpy(w.dst + w.pos, src + from, to - from);
+    w.pos += to - from;
+  }
+
+  static void spread_join(SpreadWriter& w, const uint8_t* src,
+                          uint64_t src_head, size_t to) {
+    assert(w.pos + 8 <= w.cap);
+    std::memcpy(w.dst + w.pos, &src_head, 8);
+    w.pos += 8;
+    w.last = src_head;
+    spread_copy_tail(w, src, 8, to);
+  }
+
+  static void spread_append_keys(SpreadWriter& w, const uint64_t* keys,
+                                 size_t n) {
+    assert(w.pos + n * 8 <= w.cap);
+    if (n != 0) std::memcpy(w.dst + w.pos, keys, n * 8);
+    w.pos += n * 8;
+    if (n != 0) w.last = keys[n - 1];
+  }
+
+  static size_t spread_finish(SpreadWriter& w) {
+    assert(w.pos <= w.cap);
+    std::memset(w.dst + w.pos, 0, w.cap - w.pos);
+    return w.pos;
+  }
+
   static void decode_append(const uint8_t* leaf, size_t cap,
                             std::vector<uint64_t>& out) {
     const uint64_t* c = cells(leaf);

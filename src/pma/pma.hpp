@@ -55,10 +55,12 @@ struct BatchPhaseTimes {
   uint64_t merge_ns = 0;         // phase 1b: per-leaf merges / subtractions
   uint64_t count_ns = 0;         // phase 2: work-efficient counting
   uint64_t redistribute_ns = 0;  // phase 3: redistribution + index repair
-  uint64_t grow_ns = 0;          // root-violation resize inside the merge path
-  uint64_t rebuild_ns = 0;       // whole-structure rebuild strategy
+  uint64_t spread_ns = 0;        // direct-spread resize on root violation
+  uint64_t rebuild_ns = 0;       // whole-structure rebuild strategy, plus
+                                 // the rare pack+rebuild resize fallback
   uint64_t batches = 0;          // merge-path batches measured
   uint64_t rebuilds = 0;         // rebuild-path batches measured
+  uint64_t spreads = 0;          // direct-spread resizes measured
 };
 
 namespace detail {
@@ -645,7 +647,76 @@ class PackedMemoryArray {
   kvec pack_all() const;
   void rebuild_into(uint64_t new_total_bytes, const kvec& keys);
   uint64_t choose_total_bytes(uint64_t stream_bytes) const;
+  // Resize sizing policy shared by the direct-spread and pack+rebuild
+  // paths: grow by the configured factor until `bytes` comfortably respects
+  // the root's upper bound (0.95 margin absorbs per-leaf head inflation),
+  // shrink while the contents still fit a smaller array with room to spare.
+  uint64_t resize_target_bytes(uint64_t bytes, bool growing) const {
+    const double g = settings_.growth_factor;
+    const uint64_t min_total = kMinLeaves * kMinLeafBytes;
+    uint64_t nt = data_.size();
+    if (growing) {
+      do {
+        nt = static_cast<uint64_t>(static_cast<double>(nt) * g) + 1;
+      } while (static_cast<double>(bytes) >
+               settings_.upper_root * 0.95 * static_cast<double>(nt));
+      return nt;
+    }
+    while (nt > min_total) {
+      uint64_t smaller = std::max<uint64_t>(
+          min_total, static_cast<uint64_t>(static_cast<double>(nt) / g));
+      if (smaller == nt) break;
+      if (static_cast<double>(bytes) <=
+          settings_.upper_root * 0.7 * static_cast<double>(smaller)) {
+        nt = smaller;
+      } else {
+        break;
+      }
+    }
+    return nt;
+  }
+  // Tries the direct spread first, falling back to pack + rebuild.
   void resize_rebuild(bool growing);
+  // The old materializing resize: pack every key into a flat vector and
+  // re-encode the whole structure. Kept as the fallback for density targets
+  // that leave too little slack for verbatim splicing, and reused by the
+  // huge-batch rebuild strategy's helpers.
+  void resize_pack_rebuild(bool growing);
+
+  // A destination-leaf boundary in the direct spread: the first key whose
+  // content offset is at or past the boundary's byte target. `off`/`next`
+  // are the key's code start / one-past-code offsets inside source leaf
+  // `leaf` (off == 0 is the head); `kidx` is the key's index when the
+  // source is an overflowed leaf's flat key vector. leaf == num_leaves_
+  // marks "past the end"; off == kSliverOff marks a target that fell in the
+  // sliver past the leaf's last key (resolved to the next nonempty head).
+  struct SpreadSplit {
+    uint64_t leaf = 0;
+    size_t off = 0;
+    size_t next = 0;
+    key_type key = 0;
+    uint64_t kidx = 0;
+  };
+  static constexpr size_t kSliverOff = SIZE_MAX;
+
+  // Reusable arenas for the direct-spread resize (one per BatchContext; the
+  // point-update paths use a local).
+  struct ResizeScratch {
+    util::uvector<uint64_t> prefix;  // per-leaf content bytes, then prefix sums
+    util::uvector<key_type> last;    // per-leaf last key (0 = empty)
+    util::uvector<SpreadSplit> splits;  // one per destination leaf, plus end
+  };
+
+  // Direct-spread resize (no flat key vector): computes per-leaf byte
+  // prefix sums, sizes the new array from the exact concatenated stream
+  // size, and stitches encoded source runs straight into the destination
+  // leaves — splitting runs at leaf boundaries, re-encoding only at
+  // source-leaf joins and promoted heads. `ctx` (nullable) supplies the
+  // batch's overflowed leaves and the reusable arenas. Returns false
+  // (structure untouched) when the byte budget cannot guarantee the slack
+  // bound; the caller then packs and rebuilds.
+  struct BatchContext;
+  bool resize_spread(bool growing, BatchContext* ctx);
 
   // ---- batch machinery (pma_impl.hpp) ----------------------------------------
   //
@@ -728,6 +799,8 @@ class PackedMemoryArray {
     util::uvector<CountEntry> count_cache;    // sorted by node_key
     util::uvector<CountEntry> count_scratch;  // merge swap buffer
     util::uvector<CountEntry> fresh_all;
+    // Direct-spread resize arenas (root-violation grows inside the batch).
+    ResizeScratch resize;
   };
 
   // Phase 1 routing: fills ctx.runs with the batch's leaf runs (sorted by

@@ -141,32 +141,253 @@ void PackedMemoryArray<Leaf>::rebuild_into(uint64_t new_total_bytes,
 
 template <typename Leaf>
 void PackedMemoryArray<Leaf>::resize_rebuild(bool growing) {
+  if (resize_spread(growing, nullptr)) return;
+  resize_pack_rebuild(growing);
+}
+
+template <typename Leaf>
+void PackedMemoryArray<Leaf>::resize_pack_rebuild(bool growing) {
   kvec keys = pack_all();
   uint64_t stream = stream_size_parallel(keys.data(), keys.size());
-  const double g = settings_.growth_factor;
-  const uint64_t min_total = kMinLeaves * kMinLeafBytes;
-  uint64_t nt = data_.size();
-  if (growing) {
-    // Grow by the configured factor until the contents comfortably respect
-    // the root's upper bound (0.95 margin absorbs per-leaf head inflation).
-    do {
-      nt = static_cast<uint64_t>(static_cast<double>(nt) * g) + 1;
-    } while (static_cast<double>(stream) >
-             settings_.upper_root * 0.95 * static_cast<double>(nt));
-  } else {
-    while (nt > min_total) {
-      uint64_t smaller = std::max<uint64_t>(
-          min_total, static_cast<uint64_t>(static_cast<double>(nt) / g));
-      if (smaller == nt) break;
-      if (static_cast<double>(stream) <=
-          settings_.upper_root * 0.7 * static_cast<double>(smaller)) {
-        nt = smaller;
-      } else {
-        break;
+  rebuild_into(resize_target_bytes(stream, growing), keys);
+}
+
+// ---------------------------------------------------------------------------
+// Direct-spread resize: re-spread the existing leaves into a resized array
+// without materializing the flat key vector. Per-leaf content byte counts
+// and last keys come from one streaming pass (codec sum_run: no key is ever
+// stored); a parallel prefix sum turns them into a global content-byte
+// coordinate; then every destination leaf independently locates its slice
+// [j*budget, (j+1)*budget) of that coordinate and stitches the covered
+// source runs in: verbatim byte copies inside a source leaf (a run's delta
+// chain stays valid wherever it lands, because the key preceding the run
+// becomes the destination head), one re-encoded delta per source-leaf join,
+// and plain encoding for content that only exists as flat keys (a batch's
+// overflowed leaves).
+// ---------------------------------------------------------------------------
+
+template <typename Leaf>
+bool PackedMemoryArray<Leaf>::resize_spread(bool growing, BatchContext* ctx) {
+  const bool has_ovf = ctx != nullptr && !ctx->overflow_list.empty();
+  auto ovf_slot = [&](uint64_t l) -> uint32_t {
+    return has_ovf ? overflow_slot_[l] : kNoOverflow;
+  };
+  ResizeScratch local;
+  ResizeScratch& rs = ctx != nullptr ? ctx->resize : local;
+  const uint64_t nl = num_leaves_;
+
+  // Pass 1 (cheap, no decoding): per-leaf content bytes via the terminator
+  // scan, then a parallel prefix sum building the CONTENT coordinate (every
+  // source head counted as 8 bytes).
+  rs.prefix.resize(nl + 1);
+  rs.last.resize(nl);
+  par::parallel_for(0, nl, [&](uint64_t l) {
+    uint32_t s = ovf_slot(l);
+    rs.prefix[l] = (s != kNoOverflow)
+                       ? ctx->overflow_list[s].bytes
+                       : Leaf::used_bytes(leaf_ptr(l), leaf_bytes_);
+  }, 8);
+
+  // The content total stands in for the exact stream size in the sizing
+  // loops below: it differs only at source-leaf joins (a head's 8 bytes
+  // versus the join delta's code), at most a few bytes per leaf in either
+  // direction, which the sizing margins absorb. join_excess bounds the rare
+  // joins whose delta encodes LARGER than the 8-byte head it replaces
+  // (keys > 2^49 apart, bounded via head differences without any decoding)
+  // — the only way a destination leaf can exceed its content-coordinate
+  // span.
+  auto src_head = [&](uint64_t l) -> key_type {
+    uint32_t s = ovf_slot(l);
+    if (s != kNoOverflow) return ctx->overflow_list[s].keys.front();
+    return Leaf::head(leaf_ptr(l));
+  };
+  uint64_t join_excess = 0;
+  if constexpr (Leaf::compressed) {
+    // The join delta (head - previous nonempty leaf's last key) is bounded
+    // by the head difference, and code size is monotone. Chunks accumulate
+    // their interior terms in parallel and publish their first/last
+    // nonempty heads; the cross-chunk boundary terms are added serially
+    // (heads are >= 1, so 0 marks "no nonempty leaf in this chunk").
+    const uint64_t chunk = 4096;
+    const uint64_t num_chunks = util::div_round_up(nl, chunk);
+    struct ChunkHeads {
+      key_type first = 0;
+      key_type last = 0;
+      uint64_t excess = 0;
+    };
+    std::vector<ChunkHeads> heads(num_chunks);
+    par::parallel_for(0, num_chunks, [&](uint64_t c) {
+      uint64_t lo = c * chunk, hi = std::min(nl, lo + chunk);
+      ChunkHeads out;
+      key_type prev = 0;
+      for (uint64_t l = lo; l < hi; ++l) {
+        if (rs.prefix[l] == 0) continue;  // still raw bytes at this point
+        key_type h = src_head(l);
+        if (prev != 0) {
+          uint64_t cost = Leaf::delta_bytes(prev, h);
+          if (cost > 8) out.excess += cost - 8;
+        } else {
+          out.first = h;
+        }
+        prev = h;
       }
+      out.last = prev;
+      heads[c] = out;
+    }, 1);
+    key_type prev = 0;
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      if (heads[c].first == 0) continue;  // chunk entirely empty
+      if (prev != 0) {
+        uint64_t cost = Leaf::delta_bytes(prev, heads[c].first);
+        if (cost > 8) join_excess += cost - 8;
+      }
+      join_excess += heads[c].excess;
+      prev = heads[c].last;
     }
   }
-  rebuild_into(nt, keys);
+  const uint64_t total = par::exclusive_scan_inplace(rs.prefix.data(), nl);
+  rs.prefix[nl] = total;
+
+  // Target total bytes: the same growth/shrink policy as the pack path.
+  const uint64_t nt = resize_target_bytes(total, growing);
+
+  // New geometry and per-destination-leaf byte budget, in the content
+  // coordinate, so the partition covers the whole coordinate with no spill
+  // onto the last leaf. A destination leaf's actual bytes exceed its
+  // consumed content by at most the head-for-code swap (<= 7), one max code
+  // of split overshoot, and the global join excess; refuse (caller packs
+  // and rebuilds) if that cannot be guaranteed under the slack bound.
+  const size_t nlb = pick_leaf_bytes(nt);
+  const uint64_t nn = std::max<uint64_t>(
+      kMinLeaves, util::div_round_up(nt, nlb));
+  uint64_t budget = (total + nn - 1) / nn + 2;
+  budget = std::max<uint64_t>(budget, 16);
+  const uint64_t budget_cap = nlb - kLeafSlack - 18;
+  if (budget + 24 + join_excess > budget_cap) return false;
+
+  // Pass 2 (the ONE decoding pass): every source leaf streams forward once,
+  // skip-summing to each destination boundary that lands inside it (targets
+  // j*budget in [prefix[l], prefix[l+1])), then draining to its last key.
+  // Boundaries that fall in the sliver past a leaf's last key are marked
+  // and resolved to the next nonempty head at write time.
+  rs.splits.resize(nn + 1);
+  const SpreadSplit kEnd{nl, 0, 0, 0, 0};
+  par::parallel_for(0, nn + 1, [&](uint64_t j) { rs.splits[j] = kEnd; }, 512);
+  par::parallel_for(0, nl, [&](uint64_t l) {
+    const uint64_t lbytes = rs.prefix[l + 1] - rs.prefix[l];
+    if (lbytes == 0) return;
+    uint64_t j = (rs.prefix[l] + budget - 1) / budget;  // first target >= lo
+    const uint64_t jhi_t = rs.prefix[l + 1];            // targets stay below
+    uint32_t s = ovf_slot(l);
+    if (s != kNoOverflow) {
+      const auto& keys = ctx->overflow_list[s].keys;
+      rs.last[l] = keys.back();
+      size_t off = 8;  // content offset of keys[1]
+      uint64_t i = 1;
+      for (; j <= nn && j * budget < jhi_t; ++j) {
+        size_t target = j * budget - rs.prefix[l];
+        if (target == 0) {
+          rs.splits[j] = SpreadSplit{l, 0, 8, keys[0], 0};
+          continue;
+        }
+        while (i < keys.size() && off < target) {
+          off += key_cost(keys[i - 1], keys[i], false);
+          ++i;
+        }
+        if (i >= keys.size()) {
+          rs.splits[j] = SpreadSplit{l, kSliverOff, 0, 0, 0};
+          continue;
+        }
+        size_t len = key_cost(keys[i - 1], keys[i], false);
+        rs.splits[j] = SpreadSplit{l, off, off + len, keys[i], i};
+      }
+      return;
+    }
+    typename Leaf::SpreadSeeker seek(leaf_ptr(l), leaf_bytes_);
+    rs.last[l] = seek.split_targets(
+        rs.prefix[l], budget, j, jhi_t,
+        [&](uint64_t jj, typename Leaf::SpreadPoint sp, bool sliver) {
+          rs.splits[jj] = sliver ? SpreadSplit{l, kSliverOff, 0, 0, 0}
+                                 : SpreadSplit{l, sp.off, sp.next, sp.key, 0};
+        });
+  }, 4);
+
+  // Resolve a split for consumption: slivers advance to the next nonempty
+  // leaf's head (cheap: empty leaves are rare and heads are O(1) loads).
+  auto resolve = [&](SpreadSplit sp) -> SpreadSplit {
+    if (sp.off != kSliverOff) return sp;
+    uint64_t l = sp.leaf;
+    do {
+      ++l;
+    } while (l < nl && rs.prefix[l + 1] == rs.prefix[l]);
+    if (l >= nl) return kEnd;
+    return SpreadSplit{l, 0, 8, src_head(l), 0};
+  };
+
+  // Pass 3: stitch every destination leaf from its two boundaries — byte
+  // copies inside source leaves, one re-encoded delta per source-leaf join.
+  util::uvector<uint8_t> ndata(nn * nlb);
+  par::parallel_for(0, nn, [&](uint64_t j) {
+    uint8_t* dst = ndata.data() + j * nlb;
+    SpreadSplit s0 = resolve(rs.splits[j]);
+    SpreadSplit s1 = resolve(rs.splits[j + 1]);
+    if (s0.leaf >= nl || (s0.leaf == s1.leaf && s0.off == s1.off)) {
+      std::memset(dst, 0, nlb);
+      return;
+    }
+    typename Leaf::SpreadWriter w;
+    Leaf::spread_begin(w, dst, nlb, s0.key);
+    uint64_t l = s0.leaf;
+    {
+      // First run: the rest of s0's source leaf (or up to s1 within it).
+      uint32_t s = ovf_slot(l);
+      if (s != kNoOverflow) {
+        const auto& keys = ctx->overflow_list[s].keys;
+        uint64_t hi = (s1.leaf == l) ? s1.kidx : keys.size();
+        Leaf::spread_append_keys(w, keys.data() + s0.kidx + 1,
+                                 hi - s0.kidx - 1);
+      } else {
+        size_t to = (s1.leaf == l) ? s1.off
+                                   : (rs.prefix[l + 1] - rs.prefix[l]);
+        Leaf::spread_copy_tail(w, leaf_ptr(l), s0.next, to);
+        w.last = rs.last[l];  // only read again if the run covered the leaf
+      }
+      ++l;
+    }
+    while (l < nl && l <= s1.leaf) {
+      const bool final_leaf = (l == s1.leaf);
+      if (final_leaf && s1.off == 0) break;  // s1 is this leaf's head
+      const uint64_t lbytes = rs.prefix[l + 1] - rs.prefix[l];
+      if (lbytes == 0) {
+        ++l;
+        continue;
+      }
+      uint32_t s = ovf_slot(l);
+      if (s != kNoOverflow) {
+        const auto& keys = ctx->overflow_list[s].keys;
+        Leaf::spread_append_keys(w, keys.data(),
+                                 final_leaf ? s1.kidx : keys.size());
+      } else {
+        Leaf::spread_join(w, leaf_ptr(l), Leaf::head(leaf_ptr(l)),
+                          final_leaf ? s1.off : lbytes);
+        w.last = rs.last[l];
+      }
+      if (final_leaf) break;
+      ++l;
+    }
+    size_t used = Leaf::spread_finish(w);
+    assert(used <= nlb - kLeafSlack);
+    (void)used;
+  }, 2);
+
+  // Restore the overflow-slot invariant while the geometry still matches,
+  // then swap the new array in.
+  if (ctx != nullptr) release_overflow_slots(*ctx);
+  data_ = std::move(ndata);
+  leaf_bytes_ = nlb;
+  num_leaves_ = nn;
+  rebuild_head_index();
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -402,35 +623,19 @@ void PackedMemoryArray<Leaf>::remove_from_leaf(uint64_t leaf,
                                                BatchContext& ctx) {
   ctx.delta_dense[slot] = 0;
   ctx.touched_dense[slot] = TouchedLeaf{leaf, kUntouched};
-  MergeScratch& scratch = ctx.scratch.local();
-  std::vector<key_type>& kept = scratch.merged;
-  kept.clear();
-  // Block-streamed set difference: stream the leaf out of the decode kernel
-  // and drop keys matched by the (sorted) batch slice.
-  const uint8_t* lp = leaf_ptr(leaf);
-  typename Leaf::BlockCursor bc{};
-  key_type buf[kMergeBlockKeys];
-  uint64_t existing_n = 0;
-  uint64_t j = 0;
-  size_t bn;
-  while ((bn = Leaf::block_next(lp, leaf_bytes_, bc, buf, kMergeBlockKeys)) !=
-         0) {
-    existing_n += bn;
-    for (size_t bi = 0; bi < bn; ++bi) {
-      key_type e = buf[bi];
-      while (j < k && keys[j] < e) ++j;
-      if (j < k && keys[j] == e) continue;  // removed
-      kept.push_back(e);
-    }
+  // Suffix-splice subtraction (the remove mirror of merge_tail): the byte
+  // prefix below the first removable key is never touched and the leaf is
+  // never materialized. A subset re-encodes no larger than what it replaces,
+  // so unlike the insert side there is no overflow fallback — the only
+  // refusal is an empty leaf, which has nothing to remove anyway.
+  size_t need = 0;
+  uint64_t removed = 0;
+  if (!Leaf::remove_tail(leaf_ptr(leaf), leaf_bytes_, keys, k,
+                         ctx.scratch.local().tail, &need, &removed)) {
+    return;
   }
-  if (existing_n == 0) return;
-  const uint64_t removed = existing_n - kept.size();
   if (removed == 0) return;
-  // Re-encoding a subset never grows (merged deltas encode no larger than
-  // the deltas they replace), so this always fits in place.
-  Leaf::write(leaf_ptr(leaf), leaf_bytes_, kept.data(), kept.size());
-  ctx.touched_dense[slot] =
-      TouchedLeaf{leaf, Leaf::encoded_size(kept.data(), kept.size())};
+  ctx.touched_dense[slot] = TouchedLeaf{leaf, need};
   ctx.delta_dense[slot] = removed;
 }
 
@@ -817,37 +1022,40 @@ uint64_t PackedMemoryArray<Leaf>::insert_batch_merge(const key_type* batch,
   phase_times_.count_ns += pt.lap();
 
   if (!root_ok) {
-    // Root bound violated: grow. Pack (overflow-aware) and rebuild larger.
-    util::uvector<uint64_t> counts(num_leaves_);
-    const bool has_ovf = !ctx.overflow_list.empty();
-    par::parallel_for(0, num_leaves_, [&](uint64_t l) {
-      uint32_t s = has_ovf ? overflow_slot_[l] : kNoOverflow;
-      counts[l] = (s != kNoOverflow)
-                      ? ctx.overflow_list[s].keys.size()
-                      : Leaf::element_count(leaf_ptr(l), leaf_bytes_);
-    }, 8);
-    uint64_t total = par::exclusive_scan_inplace(counts);
-    kvec all(total);
-    par::parallel_for(0, num_leaves_, [&](uint64_t l) {
-      uint64_t off = counts[l];
-      uint32_t s = has_ovf ? overflow_slot_[l] : kNoOverflow;
-      if (s != kNoOverflow) {
-        const auto& keys = ctx.overflow_list[s].keys;
-        std::copy(keys.begin(), keys.end(), all.begin() + off);
-      } else {
-        Leaf::decode_to(leaf_ptr(l), leaf_bytes_, all.data() + off);
-      }
-    }, 8);
-    release_overflow_slots(ctx);
-    uint64_t stream = stream_size_parallel(all.data(), all.size());
-    const double g = settings_.growth_factor;
-    uint64_t nt = data_.size();
-    do {
-      nt = static_cast<uint64_t>(static_cast<double>(nt) * g) + 1;
-    } while (static_cast<double>(stream) >
-             settings_.upper_root * 0.95 * static_cast<double>(nt));
-    rebuild_into(nt, all);
-    phase_times_.grow_ns += pt.lap();
+    // Root bound violated: grow by re-spreading the encoded leaf content
+    // (overflow-aware) directly into the larger array. The pack+rebuild
+    // fallback only triggers for density targets that leave too little
+    // slack for verbatim splicing; its time is charged to rebuild_ns so
+    // spread_ns/spreads only ever measure actual direct spreads.
+    if (resize_spread(/*growing=*/true, &ctx)) {
+      phase_times_.spread_ns += pt.lap();
+      ++phase_times_.spreads;
+    } else {
+      util::uvector<uint64_t> counts(num_leaves_);
+      const bool has_ovf = !ctx.overflow_list.empty();
+      par::parallel_for(0, num_leaves_, [&](uint64_t l) {
+        uint32_t s = has_ovf ? overflow_slot_[l] : kNoOverflow;
+        counts[l] = (s != kNoOverflow)
+                        ? ctx.overflow_list[s].keys.size()
+                        : Leaf::element_count(leaf_ptr(l), leaf_bytes_);
+      }, 8);
+      uint64_t total = par::exclusive_scan_inplace(counts);
+      kvec all(total);
+      par::parallel_for(0, num_leaves_, [&](uint64_t l) {
+        uint64_t off = counts[l];
+        uint32_t s = has_ovf ? overflow_slot_[l] : kNoOverflow;
+        if (s != kNoOverflow) {
+          const auto& keys = ctx.overflow_list[s].keys;
+          std::copy(keys.begin(), keys.end(), all.begin() + off);
+        } else {
+          Leaf::decode_to(leaf_ptr(l), leaf_bytes_, all.data() + off);
+        }
+      }, 8);
+      release_overflow_slots(ctx);
+      uint64_t stream = stream_size_parallel(all.data(), all.size());
+      rebuild_into(resize_target_bytes(stream, /*growing=*/true), all);
+      phase_times_.rebuild_ns += pt.lap();
+    }
     ++phase_times_.batches;
     return added;
   }
@@ -936,8 +1144,16 @@ uint64_t PackedMemoryArray<Leaf>::remove_batch_merge(const key_type* batch,
                                 /*is_insert=*/false, &roots);
   phase_times_.count_ns += pt.lap();
   if (!root_ok) {
-    resize_rebuild(/*growing=*/false);
-    phase_times_.grow_ns += pt.lap();
+    // Root lower bound violated: shrink by direct spread (reusing the batch
+    // arenas; removes never overflow, so ctx carries no out-of-place
+    // leaves). Fallback time is charged to rebuild_ns, as on the grow side.
+    if (resize_spread(/*growing=*/false, &ctx)) {
+      phase_times_.spread_ns += pt.lap();
+      ++phase_times_.spreads;
+    } else {
+      resize_pack_rebuild(false);
+      phase_times_.rebuild_ns += pt.lap();
+    }
     ++phase_times_.batches;
     return removed;
   }

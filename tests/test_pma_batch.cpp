@@ -361,6 +361,37 @@ TYPED_TEST(PmaBatchTest, PhaseTimesAccumulateAcrossStrategies) {
   EXPECT_EQ(p.batch_phase_times().merge_ns, 0u);
 }
 
+TYPED_TEST(PmaBatchTest, SpreadTimesPopulatedByGrowRebuildOnlyByHugeBatches) {
+  // Drive merge-regime batches (always < count/10, so never the rebuild
+  // strategy) until one violates the root bound and grows: that grow must be
+  // accounted to the direct-spread phase, and rebuild_ns must stay untouched
+  // because only the huge-batch strategy rebuilds.
+  TypeParam p;
+  Rng r(45);
+  std::vector<uint64_t> base(150000);
+  for (auto& k : base) k = 1 + (r.next() % (1ull << 40));
+  p.insert_batch(base.data(), base.size());  // huge batch: rebuild strategy
+  EXPECT_GT(p.batch_phase_times().rebuild_ns, 0u);
+  EXPECT_EQ(p.batch_phase_times().spreads, 0u);
+  p.reset_batch_phase_times();
+  const uint64_t bytes_before = p.total_bytes();
+  bool grew = false;
+  for (int round = 0; round < 60 && !grew; ++round) {
+    std::vector<uint64_t> batch(p.size() / 20);
+    for (auto& k : batch) k = 1 + (r.next() % (1ull << 40));
+    p.insert_batch(batch.data(), batch.size());
+    grew = p.total_bytes() > bytes_before;
+  }
+  ASSERT_TRUE(grew) << "no merge-path batch triggered a grow";
+  const auto& t = p.batch_phase_times();
+  EXPECT_GT(t.spreads, 0u);
+  EXPECT_GT(t.spread_ns, 0u);
+  EXPECT_EQ(t.rebuilds, 0u);
+  EXPECT_EQ(t.rebuild_ns, 0u) << "merge-path grows must not rebuild";
+  std::string err;
+  EXPECT_TRUE(p.check_invariants(&err)) << err;
+}
+
 TYPED_TEST(PmaBatchTest, MixedPointAndBatchOperations) {
   TypeParam p;
   std::set<uint64_t> ref;
