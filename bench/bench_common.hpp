@@ -9,6 +9,7 @@
 //   CPMA_BENCH_TRIALS=<n>     (measurement repetitions; default 3)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -51,6 +52,47 @@ inline bool struct_enabled(const char* name) {
     pos = c + 1;
   }
   return false;
+}
+
+// Shard counts for the sharded rows: CPMA_BENCH_SHARDS is a comma-separated
+// list of shard counts (default "1,8"; set to an empty-but-defined value or
+// "0" to disable the sharded rows entirely). shards=1 tracks the routing
+// overhead against the direct engines; larger counts track the fan-out.
+inline std::vector<uint64_t> shard_counts() {
+  const char* v = std::getenv("CPMA_BENCH_SHARDS");
+  std::string s = (v == nullptr) ? "1,8" : v;
+  std::vector<uint64_t> counts;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t c = s.find(',', pos);
+    if (c == std::string::npos) c = s.size();
+    uint64_t n = std::strtoull(s.substr(pos, c - pos).c_str(), nullptr, 10);
+    if (n > 0) counts.push_back(n);
+    pos = c + 1;
+  }
+  return counts;
+}
+
+// Per-shard content-byte spread, reported on sharded RESULT lines so a
+// regression caused by routing imbalance (splitter drift the rebalancer
+// missed) is attributable from the snapshot alone.
+struct ShardSpread {
+  uint64_t min_bytes = 0;
+  uint64_t max_bytes = 0;
+};
+
+template <typename S>
+ShardSpread shard_spread(const S& s) {
+  ShardSpread out;
+  std::vector<uint64_t> bytes = s.shard_content_bytes();
+  if (bytes.empty()) return out;
+  out.min_bytes = bytes[0];
+  out.max_bytes = bytes[0];
+  for (uint64_t b : bytes) {
+    out.min_bytes = std::min(out.min_bytes, b);
+    out.max_bytes = std::max(out.max_bytes, b);
+  }
+  return out;
 }
 
 // Uniform-random 40-bit keys (the paper's default microbenchmark

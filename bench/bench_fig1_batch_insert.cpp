@@ -30,14 +30,17 @@ struct RowResult {
   double tp = 0;
   bool has_phases = false;
   cpma::pma::BatchPhaseTimes phases;
+  bool has_spread = false;
+  bench::ShardSpread spread;
 };
 
 template <typename S>
-RowResult run_row(const std::vector<uint64_t>& base,
-                  const std::vector<uint64_t>& inserts, uint64_t batch_size) {
+RowResult run_row_with(const std::vector<uint64_t>& base,
+                       const std::vector<uint64_t>& inserts,
+                       uint64_t batch_size, auto make) {
   RowResult r;
   for (int t = 0; t < bench::trials(); ++t) {
-    S s;
+    S s = make();
     std::vector<uint64_t> b = base;
     s.insert_batch(b.data(), b.size());
     if constexpr (requires { s.reset_batch_phase_times(); }) {
@@ -50,15 +53,32 @@ RowResult run_row(const std::vector<uint64_t>& base,
         r.has_phases = true;
         r.phases = s.batch_phase_times();
       }
+      if constexpr (requires { s.shard_content_bytes(); }) {
+        r.has_spread = true;
+        r.spread = bench::shard_spread(s);
+      }
     }
   }
   return r;
 }
 
-void emit_result(const char* name, uint64_t batch, const RowResult& r) {
-  std::printf("RESULT bench=batch_insert struct=%s batch=%llu "
-              "inserts_per_s=%.6e",
-              name, (unsigned long long)batch, r.tp);
+template <typename S>
+RowResult run_row(const std::vector<uint64_t>& base,
+                  const std::vector<uint64_t>& inserts, uint64_t batch_size) {
+  return run_row_with<S>(base, inserts, batch_size, [] { return S{}; });
+}
+
+void emit_result(const char* name, uint64_t batch, const RowResult& r,
+                 uint64_t shards = 0) {
+  std::printf("RESULT bench=batch_insert struct=%s ", name);
+  if (shards > 0) std::printf("shards=%llu ", (unsigned long long)shards);
+  std::printf("batch=%llu inserts_per_s=%.6e", (unsigned long long)batch,
+              r.tp);
+  if (r.has_spread) {
+    std::printf(" min_shard_bytes=%llu max_shard_bytes=%llu",
+                (unsigned long long)r.spread.min_bytes,
+                (unsigned long long)r.spread.max_bytes);
+  }
   if (r.has_phases) {
     const auto& p = r.phases;
     std::printf(" route_ns=%llu merge_ns=%llu count_ns=%llu "
@@ -91,7 +111,10 @@ int main() {
   const bool pma_on = bench::struct_enabled("pma");
   const bool cpac_on = bench::struct_enabled("cpac");
   const bool cpma_on = bench::struct_enabled("cpma");
+  const bool spma_on = bench::struct_enabled("sharded_pma");
+  const bool scpma_on = bench::struct_enabled("sharded_cpma");
   const bool all_on = ptree_on && upac_on && pma_on && cpac_on && cpma_on;
+  const std::vector<uint64_t> shard_counts = bench::shard_counts();
 
   cpma::util::Table table({"batch", "P-tree", "U-PaC", "PMA", "PMA/P-tree",
                            "C-PaC", "CPMA", "CPMA/C-PaC", "CPMA/PMA"});
@@ -117,6 +140,23 @@ int main() {
     if (cpma_on) {
       cc = run_row<cpma::CPMA>(base, inserts, bs);
       emit_result("cpma", bs, cc);
+    }
+    // Sharded rows: one per shard count, same protocol. shards=1 tracks the
+    // router overhead against the engine rows; larger counts track the
+    // sibling-task fan-out (and report the shard imbalance they ended at).
+    for (uint64_t sc : shard_counts) {
+      cpma::pma::ShardedSettings st;
+      st.num_shards = sc;
+      if (spma_on) {
+        RowResult r = run_row_with<cpma::SPMA>(
+            base, inserts, bs, [&] { return cpma::SPMA(st); });
+        emit_result("sharded_pma", bs, r, sc);
+      }
+      if (scpma_on) {
+        RowResult r = run_row_with<cpma::SCPMA>(
+            base, inserts, bs, [&] { return cpma::SCPMA(st); });
+        emit_result("sharded_cpma", bs, r, sc);
+      }
     }
     if (!all_on) continue;
     table.cell_u64(bs);

@@ -1,12 +1,17 @@
-// Figure 7 / Table 11: strong scaling of batch inserts in the PMA and CPMA.
+// Figure 7 / Table 11: strong scaling of batch inserts in the PMA and CPMA,
+// plus the keyspace-sharded compositions.
 //
 // Paper protocol: start with 1e8 keys, insert 100 batches of 1e6; sweep core
 // counts. Scaled here (defaults: 1e6 base, batches of insert_n/100), sweeping
 // 1, 2, 4, ... up to the machine's cores.
 //
-// Expected shape (paper): both scale; CPMA overtakes PMA at high core counts
-// because inserts become memory-bound and compression buys bandwidth (PMA
-// up to ~19x, CPMA up to ~43x on 64 cores / 128 threads).
+// Expected shape (paper): both engines scale; CPMA overtakes PMA at high
+// core counts because inserts become memory-bound and compression buys
+// bandwidth (PMA up to ~19x, CPMA up to ~43x on 64 cores / 128 threads).
+// The sharded rows dispatch per-shard batches as sibling top-level tasks, so
+// they add scaling headroom above what one engine's inner parallelism
+// reaches — the S-CPMA column is the one the ROADMAP "Scale" item tracks.
+// The shard count comes from CPMA_BENCH_SHARDS (largest entry; default 8).
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -19,12 +24,20 @@
 namespace {
 
 template <typename S>
-double run(const std::vector<uint64_t>& base,
-           const std::vector<uint64_t>& inserts, uint64_t batch) {
-  S s;
+double run_with(const std::vector<uint64_t>& base,
+                const std::vector<uint64_t>& inserts, uint64_t batch,
+                auto make) {
+  S s = make();
   std::vector<uint64_t> b = base;
   s.insert_batch(b.data(), b.size());
   return bench::batch_insert_throughput(s, inserts, batch);
+}
+
+void emit_result(const char* name, unsigned cores, uint64_t shards,
+                 double tp) {
+  std::printf("RESULT bench=insert_scaling struct=%s cores=%u ", name, cores);
+  if (shards > 0) std::printf("shards=%llu ", (unsigned long long)shards);
+  std::printf("inserts_per_s=%.6e\n", tp);
 }
 
 }  // namespace
@@ -35,28 +48,72 @@ int main() {
   auto inserts = bench::uniform_keys(bench::insert_n(), 62);
   const uint64_t batch = std::max<uint64_t>(1, bench::insert_n() / 100);
 
+  // Sharded series: the largest configured shard count (one series keeps
+  // the table readable; sweep CPMA_BENCH_SHARDS externally for more),
+  // gated by CPMA_BENCH_STRUCTS like every other structure.
+  uint64_t shards = 0;
+  if (bench::struct_enabled("sharded_pma") ||
+      bench::struct_enabled("sharded_cpma")) {
+    for (uint64_t sc : bench::shard_counts()) shards = std::max(shards, sc);
+  }
+  const bool spma_on = shards > 0 && bench::struct_enabled("sharded_pma");
+  const bool scpma_on = shards > 0 && bench::struct_enabled("sharded_cpma");
+
   unsigned hw = std::thread::hardware_concurrency();
   std::vector<unsigned> cores;
   for (unsigned c = 1; c < hw; c *= 2) cores.push_back(c);
   cores.push_back(hw);
 
-  double pma1 = 0, cpma1 = 0;
-  cpma::util::Table table({"cores", "PMA_TP", "PMA_speedup", "CPMA_TP",
-                           "CPMA_speedup"});
+  double pma1 = 0, cpma1 = 0, spma1 = 0, scpma1 = 0;
+  std::vector<std::string> headers{"cores", "PMA_TP", "PMA_speedup",
+                                   "CPMA_TP", "CPMA_speedup"};
+  if (shards > 0) {
+    headers.insert(headers.end(),
+                   {"S-PMA_TP", "S-PMA_speedup", "S-CPMA_TP",
+                    "S-CPMA_speedup"});
+  }
+  cpma::util::Table table(headers);
   table.print_header();
   for (unsigned c : cores) {
     cpma::par::Scheduler::set_num_workers(c);
-    double pma = run<cpma::PMA>(base, inserts, batch);
-    double cc = run<cpma::CPMA>(base, inserts, batch);
+    double pma = run_with<cpma::PMA>(base, inserts, batch,
+                                     [] { return cpma::PMA{}; });
+    double cc = run_with<cpma::CPMA>(base, inserts, batch,
+                                     [] { return cpma::CPMA{}; });
+    emit_result("pma", c, 0, pma);
+    emit_result("cpma", c, 0, cc);
+    double spma = 0, scpma = 0;
+    if (shards > 0) {
+      cpma::pma::ShardedSettings st;
+      st.num_shards = shards;
+      if (spma_on) {
+        spma = run_with<cpma::SPMA>(base, inserts, batch,
+                                    [&] { return cpma::SPMA(st); });
+        emit_result("sharded_pma", c, shards, spma);
+      }
+      if (scpma_on) {
+        scpma = run_with<cpma::SCPMA>(base, inserts, batch,
+                                      [&] { return cpma::SCPMA(st); });
+        emit_result("sharded_cpma", c, shards, scpma);
+      }
+    }
     if (c == 1) {
       pma1 = pma;
       cpma1 = cc;
+      spma1 = spma;
+      scpma1 = scpma;
     }
     table.cell_u64(c);
     table.cell_sci(pma);
     table.cell_ratio(pma / pma1);
     table.cell_sci(cc);
     table.cell_ratio(cc / cpma1);
+    if (shards > 0) {
+      table.cell_sci(spma);
+      table.cell_ratio(spma_on ? spma / spma1 : 0.0);
+      table.cell_sci(scpma);
+      table.cell_ratio(scpma_on ? scpma / scpma1 : 0.0);
+    }
     table.end_row();
   }
   cpma::par::Scheduler::set_num_workers(hw);

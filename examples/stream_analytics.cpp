@@ -1,13 +1,18 @@
-// Stream analytics over a skewed key stream — the "large number of requests
+// Stream analytics over skewed key streams — the "large number of requests
 // in a short time" use case the paper motivates for batch-parallel sets
 // (stream processing / loop join).
 //
-// A zipfian event stream (YCSB parameters, as in the paper's skewed
-// experiments) arrives in batches; between batches the application runs
-// windowed range aggregations. Compares the CPMA against the uncompressed
-// PMA on the same workload.
+// A MULTI-STREAM ingest: several zipfian event streams (YCSB parameters, as
+// in the paper's skewed experiments) arrive interleaved, each stream keyed
+// into its own region of the keyspace (per-tenant id in the high bits).
+// Batches are drained round-robin; between batches the application runs
+// windowed range aggregations. Compares the single-engine CPMA against the
+// keyspace-sharded SCPMA on the same workload: the sharded set routes each
+// tenant's slice to (mostly) its own shards and applies the per-shard
+// batches as sibling parallel tasks, and its rebalancer keeps the shards
+// within the configured byte ratio even though tenants are skewed.
 //
-//   $ ./examples/stream_analytics [events] [batch]
+//   $ ./examples/stream_analytics [events] [batch] [streams] [shards]
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -18,10 +23,11 @@
 
 namespace {
 
+constexpr uint64_t kTenantShift = 40;  // stream id above the 27-bit zipf keys
+
 template <typename Set>
-void run(const char* name, const std::vector<uint64_t>& stream,
-         uint64_t batch_size) {
-  Set set;
+void run(const char* name, Set& set, const std::vector<uint64_t>& stream,
+         uint64_t batch_size, uint64_t streams) {
   double insert_secs = 0, query_secs = 0;
   uint64_t windows = 0, window_hits = 0;
   std::vector<uint64_t> batch;
@@ -33,23 +39,28 @@ void run(const char* name, const std::vector<uint64_t>& stream,
     set.insert_batch(batch.data(), len);
     insert_secs += t.elapsed_seconds();
 
-    // Windowed aggregation: count and sum over 64 key windows.
+    // Windowed aggregation per tenant: count and sum over 16 key windows in
+    // each tenant's region (cross-shard stitching when windows straddle a
+    // splitter).
     t.reset();
-    const uint64_t span = (uint64_t{1} << 27) / 64;
-    for (int w = 0; w < 64; ++w) {
-      uint64_t lo = w * span;
-      uint64_t cnt = 0, sum = 0;
-      set.map_range([&](uint64_t k) {
-        ++cnt;
-        sum += k;
-      }, lo, lo + span / 256);
-      window_hits += cnt;
-      (void)sum;
-      ++windows;
+    const uint64_t span = (uint64_t{1} << 27) / 16;
+    for (uint64_t tenant = 0; tenant < streams; ++tenant) {
+      const uint64_t base = tenant << kTenantShift;
+      for (int w = 0; w < 16; ++w) {
+        uint64_t lo = base + w * span;
+        uint64_t cnt = 0, sum = 0;
+        set.map_range([&](uint64_t k) {
+          ++cnt;
+          sum += k;
+        }, lo, lo + span / 256);
+        window_hits += cnt;
+        (void)sum;
+        ++windows;
+      }
     }
     query_secs += t.elapsed_seconds();
   }
-  std::printf("%-5s: %8llu unique keys | ingest %6.1f ms (%.2e ev/s) | "
+  std::printf("%-6s: %8llu unique keys | ingest %6.1f ms (%.2e ev/s) | "
               "%llu windows %6.1f ms | %.2f bytes/key\n",
               name, (unsigned long long)set.size(), insert_secs * 1e3,
               stream.size() / insert_secs, (unsigned long long)windows,
@@ -63,17 +74,50 @@ void run(const char* name, const std::vector<uint64_t>& stream,
 int main(int argc, char** argv) {
   const uint64_t events = argc > 1 ? std::atoll(argv[1]) : 2'000'000;
   const uint64_t batch = argc > 2 ? std::atoll(argv[2]) : 100'000;
-  std::printf("zipfian event stream: %llu events, batches of %llu "
-              "(alpha=0.99, 27-bit keys)\n",
-              (unsigned long long)events, (unsigned long long)batch);
+  const uint64_t streams = argc > 3 ? std::atoll(argv[3]) : 4;
+  const uint64_t shards = argc > 4 ? std::atoll(argv[4]) : 8;
+  std::printf("multi-stream zipfian ingest: %llu events across %llu streams, "
+              "batches of %llu (alpha=0.99, 27-bit keys per stream)\n",
+              (unsigned long long)events, (unsigned long long)streams,
+              (unsigned long long)batch);
 
-  cpma::util::ZipfGenerator zipf(uint64_t{1} << 24, 0.99, 7);
+  // Interleave the tenants round-robin inside every batch: each stream is
+  // zipf-skewed internally AND the tenants have different volumes (tenant t
+  // gets streams - t shares, so the heaviest produces streams times the
+  // lightest), so the sharded set sees realistic imbalance pressure.
+  std::vector<cpma::util::ZipfGenerator> gens;
+  for (uint64_t s = 0; s < streams; ++s) {
+    gens.emplace_back(uint64_t{1} << 24, 0.99, 7 + s);
+  }
   std::vector<uint64_t> stream(events);
-  for (uint64_t i = 0; i < events; ++i) stream[i] = zipf.key(i, 27);
+  for (uint64_t i = 0; i < events; ++i) {
+    // Weighted round-robin: tenant t gets ~(streams - t) shares.
+    uint64_t pick = i % (streams * (streams + 1) / 2);
+    uint64_t tenant = 0, acc = streams;
+    while (pick >= acc) {
+      ++tenant;
+      acc += streams - tenant;
+    }
+    stream[i] = (tenant << kTenantShift) | gens[tenant].key(i, 27);
+  }
 
-  run<cpma::PMA>("PMA", stream, batch);
-  run<cpma::CPMA>("CPMA", stream, batch);
-  std::printf("(the CPMA ingests comparable or faster and stores the set "
-              "in a fraction of the space)\n");
+  cpma::CPMA single;
+  run("CPMA", single, stream, batch, streams);
+
+  cpma::pma::ShardedSettings st;
+  st.num_shards = shards;
+  cpma::SCPMA sharded(st);
+  run("SCPMA", sharded, stream, batch, streams);
+
+  std::printf("shard content bytes (%llu shards, %llu rebalance passes, "
+              "%llu boundary moves):",
+              (unsigned long long)sharded.num_shards(),
+              (unsigned long long)sharded.router_times().rebalances,
+              (unsigned long long)sharded.router_times().moves);
+  for (uint64_t b : sharded.shard_content_bytes()) {
+    std::printf(" %llu", (unsigned long long)b);
+  }
+  std::printf("\n(the sharded set ingests each tenant's slice as a sibling "
+              "parallel task and keeps shards byte-balanced under skew)\n");
   return 0;
 }

@@ -25,7 +25,7 @@ import sys
 
 # Dimension keys that identify a record (when present) in addition to all
 # string-valued fields.
-ID_INT_KEYS = {"batch"}
+ID_INT_KEYS = {"batch", "shards", "cores"}
 
 
 def record_id(record):

@@ -11,6 +11,7 @@
 #include "pma/leaf_compressed.hpp"
 #include "pma/leaf_uncompressed.hpp"
 #include "pma/pma.hpp"
+#include "pma/sharded.hpp"
 
 namespace cpma {
 
@@ -18,5 +19,10 @@ using PMA = pma::PackedMemoryArray<pma::UncompressedLeaf>;
 // Default codec (byte varints); swap the codec by instantiating
 // pma::PackedMemoryArray<pma::CompressedLeaf<YourCodec>> directly.
 using CPMA = pma::PackedMemoryArray<pma::CompressedLeaf<>>;
+
+// Keyspace-sharded compositions: S independent engines behind the same set
+// API (see pma/sharded.hpp for the router/rebalancer design).
+using SPMA = pma::ShardedPMA<PMA>;
+using SCPMA = pma::ShardedPMA<CPMA>;
 
 }  // namespace cpma

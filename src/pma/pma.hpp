@@ -318,6 +318,37 @@ class PackedMemoryArray {
         4);
   }
 
+  // ---- sharding hooks (used by pma/sharded.hpp) ---------------------------
+
+  // Encoded content bytes over all leaves, via the same terminator-scan
+  // sizing resize_spread's pass 1 uses. This is the sharded layer's balance
+  // coordinate (and the numerator of density()).
+  uint64_t content_bytes() const {
+    return par::parallel_sum<uint64_t>(
+        0, num_leaves_,
+        [&](uint64_t l) { return Leaf::used_bytes(leaf_ptr(l), leaf_bytes_); },
+        4);
+  }
+
+  // Smallest stored key at or after `target` content bytes (leaf
+  // granularity): the keys below the returned key occupy approximately
+  // `target` encoded bytes. nullopt when the target lands in or past the
+  // last nonempty leaf — the caller cannot split there any finer than
+  // "everything".
+  std::optional<key_type> split_key_for_bytes(uint64_t target) const;
+
+  // Removes every stored key in [lo, hi) and returns them sorted — the
+  // sharded layer's boundary-move hook. Restores the density bounds with
+  // one direct spread (resize machinery) instead of packing every key, so
+  // a boundary move costs one streaming pass of this engine, not a full
+  // materialize + rebuild.
+  kvec extract_range(key_type lo, key_type hi);
+
+  // Replaces the entire contents from a sorted, duplicate-free key stream
+  // (leading zeros allowed: they set the key-0 sentinel). The sharded
+  // layer's bulk-construction hook: O(n) spread, no merge.
+  void build_from_sorted(const key_type* keys, uint64_t n);
+
   // ---- iteration ----------------------------------------------------------
 
   class const_iterator {
@@ -451,11 +482,8 @@ class PackedMemoryArray {
 
   // Occupied bytes over total bytes.
   double density() const {
-    uint64_t used = par::parallel_sum<uint64_t>(
-        0, num_leaves_,
-        [&](uint64_t l) { return Leaf::used_bytes(leaf_ptr(l), leaf_bytes_); },
-        4);
-    return static_cast<double>(used) / static_cast<double>(data_.size());
+    return static_cast<double>(content_bytes()) /
+           static_cast<double>(data_.size());
   }
 
   // Validates the structural invariants; returns true and leaves *err
@@ -645,7 +673,11 @@ class PackedMemoryArray {
   // ---- resize ----------------------------------------------------------------
 
   kvec pack_all() const;
-  void rebuild_into(uint64_t new_total_bytes, const kvec& keys);
+  void rebuild_into(uint64_t new_total_bytes, const key_type* keys,
+                    uint64_t n);
+  void rebuild_into(uint64_t new_total_bytes, const kvec& keys) {
+    rebuild_into(new_total_bytes, keys.data(), keys.size());
+  }
   uint64_t choose_total_bytes(uint64_t stream_bytes) const;
   // Resize sizing policy shared by the direct-spread and pack+rebuild
   // paths: grow by the configured factor until `bytes` comfortably respects

@@ -127,7 +127,7 @@ uint64_t PackedMemoryArray<Leaf>::choose_total_bytes(
 
 template <typename Leaf>
 void PackedMemoryArray<Leaf>::rebuild_into(uint64_t new_total_bytes,
-                                           const kvec& keys) {
+                                           const key_type* keys, uint64_t n) {
   leaf_bytes_ = pick_leaf_bytes(new_total_bytes);
   num_leaves_ = std::max<uint64_t>(
       kMinLeaves, util::div_round_up(new_total_bytes, leaf_bytes_));
@@ -135,7 +135,7 @@ void PackedMemoryArray<Leaf>::rebuild_into(uint64_t new_total_bytes,
   // write() zero-fills), so the buffer is first-touched by parallel writers.
   data_.resize(num_leaves_ * leaf_bytes_);
   data_.shrink_to_fit();
-  spread(0, num_leaves_, keys.data(), keys.size());
+  spread(0, num_leaves_, keys, n);
   rebuild_head_index();
 }
 
@@ -150,6 +150,94 @@ void PackedMemoryArray<Leaf>::resize_pack_rebuild(bool growing) {
   kvec keys = pack_all();
   uint64_t stream = stream_size_parallel(keys.data(), keys.size());
   rebuild_into(resize_target_bytes(stream, growing), keys);
+}
+
+// ---------------------------------------------------------------------------
+// Sharding hooks: boundary-range extraction and bulk construction, used by
+// the keyspace-sharded layer (pma/sharded.hpp) to move content between
+// neighbor shards without rebuilding either side from a flat key vector.
+// ---------------------------------------------------------------------------
+
+template <typename Leaf>
+std::optional<uint64_t> PackedMemoryArray<Leaf>::split_key_for_bytes(
+    uint64_t target) const {
+  uint64_t cum = 0;
+  for (uint64_t l = 0; l < num_leaves_; ++l) {
+    const uint8_t* lp = leaf_ptr(l);
+    key_type h = Leaf::head(lp);
+    if (h == 0) continue;  // empty leaf contributes no content
+    if (cum >= target) return h;
+    cum += Leaf::used_bytes(lp, leaf_bytes_);
+  }
+  return std::nullopt;
+}
+
+template <typename Leaf>
+typename PackedMemoryArray<Leaf>::kvec
+PackedMemoryArray<Leaf>::extract_range(key_type lo, key_type hi) {
+  kvec out;
+  if (lo >= hi) return out;
+  if (lo == 0) {
+    if (has_zero_) {
+      out.push_back(0);
+      has_zero_ = false;
+    }
+    lo = 1;
+    if (lo >= hi) return out;
+  }
+  if (count_ == 0) return out;
+  // The extracted span covers a contiguous leaf run: only the first touched
+  // leaf can keep a prefix (< lo) and only the last can keep a suffix
+  // (>= hi). Each touched leaf is decoded once and rewritten from its kept
+  // keys; fully-covered leaves rewrite to empty.
+  const uint64_t l0 = find_leaf(lo);
+  std::vector<key_type> buf, kept;
+  uint64_t removed = 0;
+  for (uint64_t l = l0; l < num_leaves_; ++l) {
+    const uint8_t* lp = leaf_ptr(l);
+    key_type h = Leaf::head(lp);
+    if (h == 0) continue;
+    if (h >= hi) break;  // leaves are globally sorted: nothing further
+    if (Leaf::last(lp, leaf_bytes_) < lo) continue;  // only possible at l0
+    buf.clear();
+    Leaf::decode_append(lp, leaf_bytes_, buf);
+    auto first = std::lower_bound(buf.begin(), buf.end(), lo);
+    auto past = std::lower_bound(first, buf.end(), hi);
+    if (first != past) {
+      out.insert(out.end(), first, past);
+      removed += static_cast<uint64_t>(past - first);
+      kept.clear();
+      kept.insert(kept.end(), buf.begin(), first);
+      kept.insert(kept.end(), past, buf.end());
+      Leaf::write(leaf_ptr(l), leaf_bytes_, kept.data(), kept.size());
+    }
+    if (past != buf.end()) break;  // hi fell inside this leaf
+  }
+  if (removed > 0) {
+    count_ -= removed;
+    // The emptied span leaves the region far below its lower density
+    // bounds; one resize pass (direct spread, shrinking when warranted)
+    // restores balance and rebuilds the head index. No key vector is
+    // materialized unless the spread's slack guard refuses.
+    resize_rebuild(/*growing=*/false);
+  }
+  return out;
+}
+
+template <typename Leaf>
+void PackedMemoryArray<Leaf>::build_from_sorted(const key_type* keys,
+                                                uint64_t n) {
+  uint64_t zeros = 0;
+  while (zeros < n && keys[zeros] == 0) ++zeros;
+  has_zero_ = zeros > 0;
+  keys += zeros;
+  n -= zeros;
+  count_ = n;
+  if (n == 0) {
+    init_empty();
+    return;
+  }
+  rebuild_into(choose_total_bytes(stream_size_parallel(keys, n)), keys, n);
 }
 
 // ---------------------------------------------------------------------------

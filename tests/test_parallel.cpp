@@ -3,6 +3,7 @@
 // the sorted-sequence helpers under real parallelism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <vector>
@@ -267,5 +268,56 @@ TEST(Scheduler, StressManySmallParallelLoops) {
     std::atomic<int> c{0};
     par::parallel_for(0, 64, [&](uint64_t) { c.fetch_add(1); }, 1);
     ASSERT_EQ(c.load(), 64);
+  }
+}
+
+TEST(Scheduler, SiblingTasksWithInnerParallelism) {
+  // The sharded router's shape: S sibling top-level tasks (grain 1), each
+  // running its own parallel_for / parallel_sum / parallel_sort underneath.
+  // A worker suspended at one sibling's join must steal and complete other
+  // siblings' subtasks without corrupting either computation.
+  const uint64_t siblings = 8;
+  std::vector<uint64_t> sums(siblings, 0);
+  std::vector<std::vector<uint64_t>> sorted(siblings);
+  par::parallel_for(0, siblings, [&](uint64_t s) {
+    const uint64_t n = 20'000 + 1'000 * s;
+    sums[s] = par::parallel_sum<uint64_t>(
+        0, n, [](uint64_t i) { return i; }, 512);
+    Rng r(s + 1);
+    std::vector<uint64_t>& v = sorted[s];
+    v.resize(n);
+    for (auto& x : v) x = r.next();
+    par::parallel_sort(v.data(), v.size(), 1024);
+  }, 1);
+  for (uint64_t s = 0; s < siblings; ++s) {
+    const uint64_t n = 20'000 + 1'000 * s;
+    EXPECT_EQ(sums[s], (n - 1) * n / 2) << "sibling " << s;
+    EXPECT_TRUE(std::is_sorted(sorted[s].begin(), sorted[s].end()))
+        << "sibling " << s;
+    EXPECT_EQ(sorted[s].size(), n);
+  }
+}
+
+TEST(Scheduler, NestedSiblingBatchesDisjointState) {
+  // Sibling tasks each mutate their own accumulation buffers through nested
+  // parallel loops — the isolation contract the per-shard BatchContexts
+  // rely on.
+  const uint64_t siblings = 6;
+  std::vector<std::vector<uint64_t>> hist(siblings);
+  par::parallel_for(0, siblings, [&](uint64_t s) {
+    auto& h = hist[s];
+    h.assign(64, 0);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<uint64_t> local(64, 0);
+      par::parallel_for(0, 64, [&](uint64_t b) {
+        uint64_t acc = 0;
+        for (uint64_t i = 0; i < 1'000; ++i) acc += (b * 1'000 + i) % 64;
+        local[b] = acc;
+      }, 1);
+      for (uint64_t b = 0; b < 64; ++b) h[b] += local[b];
+    }
+  }, 1);
+  for (uint64_t s = 1; s < siblings; ++s) {
+    ASSERT_EQ(hist[s], hist[0]) << "sibling " << s << " diverged";
   }
 }
