@@ -1,0 +1,234 @@
+// Serving-layer latency/throughput bench: read p50/p99 under live ingest.
+//
+// Protocol: preload BASE_N uniform keys, then stream INSERT_N more through
+// the serving layer's synchronous batch path (batch=10000, the merge regime
+// the batch-insert bench tracks) while N client threads hammer the read
+// path — each read pins a snapshot, runs has() + successor(), and unpins.
+// Reported per (structure, shards, clients):
+//
+//   clients=0  pure-ingest: ingest_per_s through ServingPMA with budgeted
+//              publishing, plus publishes/shard_copies — the cost of
+//              snapshotting itself. Judged against same-run phase-based
+//              sharded_* reference rows (also emitted here, and matching
+//              the merge-regime rows of BENCH_batch_insert.json);
+//              acceptance is within 0.9x.
+//   clients=N  concurrent: ingest_per_s (writer), reads_per_s (sum over
+//              clients), read_p50_ns / read_p99_ns (per-op pin+read+unpin
+//              wall time, merged across clients).
+//
+// RESULT lines feed scripts/run_bench.py; read_p50_ns/read_p99_ns are
+// compared by scripts/compare_bench.py as lower-is-better.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pma/cpma.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+constexpr uint64_t kBatchSize = 10'000;
+
+struct ServeResult {
+  double ingest_per_s = 0;
+  double reads_per_s = 0;
+  uint64_t read_p50_ns = 0;
+  uint64_t read_p99_ns = 0;
+  uint64_t publishes = 0;
+  uint64_t shard_copies = 0;
+};
+
+uint64_t percentile(std::vector<uint64_t>& samples, double p) {
+  if (samples.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(samples.size() - 1));
+  std::nth_element(samples.begin(), samples.begin() + idx, samples.end());
+  return samples[idx];
+}
+
+// One trial: ingest `inserts` in kBatchSize batches while `clients` reader
+// threads measure per-op snapshot-read latency.
+template <typename S>
+ServeResult run_trial(S& serving, const std::vector<uint64_t>& inserts,
+                      const std::vector<uint64_t>& probes, uint64_t clients) {
+  std::atomic<bool> done{false};
+  std::vector<std::vector<uint64_t>> lat(clients);
+  std::vector<uint64_t> reads(clients, 0);
+
+  std::vector<std::thread> readers;
+  for (uint64_t c = 0; c < clients; ++c) {
+    readers.emplace_back([&, c]() {
+      auto& samples = lat[c];
+      samples.reserve(1 << 16);
+      uint64_t i = c;  // stagger probe streams across clients
+      cpma::util::Timer op;
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t key = probes[i % probes.size()];
+        i += clients;
+        const double t0 = op.elapsed_seconds();
+        {
+          auto snap = serving.snapshot();
+          bool hit = snap.has(key);
+          auto suc = snap.successor(key);
+          // Sanity the compiler cannot elide: a present key is its own
+          // successor.
+          if (hit && (!suc || *suc != key)) std::abort();
+        }
+        const double t1 = op.elapsed_seconds();
+        ++reads[c];
+        samples.push_back(static_cast<uint64_t>((t1 - t0) * 1e9));
+      }
+    });
+  }
+
+  std::vector<uint64_t> scratch;
+  cpma::util::Timer t;
+  for (uint64_t off = 0; off < inserts.size(); off += kBatchSize) {
+    const uint64_t len =
+        std::min<uint64_t>(kBatchSize, inserts.size() - off);
+    scratch.assign(inserts.begin() + off, inserts.begin() + off + len);
+    serving.insert_batch(scratch.data(), len);
+  }
+  const double ingest_seconds = t.elapsed_seconds();
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  ServeResult r;
+  r.ingest_per_s = static_cast<double>(inserts.size()) / ingest_seconds;
+  std::vector<uint64_t> all;
+  uint64_t total_reads = 0;
+  for (uint64_t c = 0; c < clients; ++c) {
+    total_reads += reads[c];
+    all.insert(all.end(), lat[c].begin(), lat[c].end());
+  }
+  if (clients > 0) {
+    r.reads_per_s = static_cast<double>(total_reads) / ingest_seconds;
+    r.read_p50_ns = percentile(all, 0.50);
+    r.read_p99_ns = percentile(all, 0.99);
+  }
+  const auto stats = serving.stats();
+  r.publishes = stats.publishes;
+  r.shard_copies = stats.shard_copies;
+  return r;
+}
+
+template <typename S>
+ServeResult run_row(const std::vector<uint64_t>& base,
+                    const std::vector<uint64_t>& inserts,
+                    const std::vector<uint64_t>& probes, uint64_t shards,
+                    uint64_t clients) {
+  ServeResult best;
+  for (int trial = 0; trial < bench::trials(); ++trial) {
+    cpma::serve::ServingSettings cfg;
+    cfg.sharded.num_shards = shards;
+    S serving(cfg);
+    // Preload through the batch path, exactly like the batch-insert bench's
+    // rows (a bulk build packs leaves tighter and taxes the timed inserts
+    // with extra spreads — not the regime the baseline measures).
+    std::vector<uint64_t> b = base;
+    serving.insert_batch(b.data(), b.size());
+    ServeResult r = run_trial(serving, inserts, probes, clients);
+    if (r.ingest_per_s > best.ingest_per_s) best = r;
+  }
+  return best;
+}
+
+// Phase-based sharded baseline (no serving wrapper, no snapshots): the
+// same-machine reference the serving ingest ratio is judged against.
+template <typename S>
+double run_baseline(const std::vector<uint64_t>& base,
+                    const std::vector<uint64_t>& inserts, uint64_t shards) {
+  double best = 0;
+  for (int trial = 0; trial < bench::trials(); ++trial) {
+    cpma::pma::ShardedSettings cfg;
+    cfg.num_shards = shards;
+    S s(cfg);
+    std::vector<uint64_t> b = base;
+    s.insert_batch(b.data(), b.size());
+    best = std::max(best, bench::batch_insert_throughput(s, inserts,
+                                                         kBatchSize));
+  }
+  return best;
+}
+
+void emit_result(const char* name, uint64_t shards, uint64_t clients,
+                 const ServeResult& r) {
+  std::printf("RESULT bench=serving_latency struct=%s shards=%llu "
+              "batch=%llu clients=%llu ingest_per_s=%.6e",
+              name, (unsigned long long)shards,
+              (unsigned long long)kBatchSize, (unsigned long long)clients,
+              r.ingest_per_s);
+  if (clients > 0) {
+    std::printf(" reads_per_s=%.6e read_p50_ns=%llu read_p99_ns=%llu",
+                r.reads_per_s, (unsigned long long)r.read_p50_ns,
+                (unsigned long long)r.read_p99_ns);
+  }
+  std::printf(" publishes=%llu shard_copies=%llu\n",
+              (unsigned long long)r.publishes,
+              (unsigned long long)r.shard_copies);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("serving layer: read latency under live ingest");
+  const auto base = bench::uniform_keys(bench::base_n(), 1);
+  const auto inserts = bench::uniform_keys(bench::insert_n(), 2);
+  // Probe stream: half present (from base), half drawn fresh (mostly
+  // absent), deterministic.
+  std::vector<uint64_t> probes = bench::uniform_keys(1 << 16, 3);
+  for (size_t i = 0; i < probes.size(); i += 2) {
+    probes[i] = base[(i * 2654435761u) % base.size()];
+  }
+
+  const bool pma_on = bench::struct_enabled("serving_pma");
+  const bool cpma_on = bench::struct_enabled("serving_cpma");
+  std::vector<uint64_t> clients = bench::client_counts();
+  clients.insert(clients.begin(), 0);  // pure-ingest baseline row first
+
+  for (uint64_t sc : bench::shard_counts()) {
+    // Same-machine phase-based reference rows (clients is meaningless for
+    // them; the serving clients=0 ingest ratio reads directly against
+    // these).
+    double base_pma = 0, base_cpma = 0;
+    if (pma_on) {
+      base_pma = run_baseline<cpma::SPMA>(base, inserts, sc);
+      std::printf("RESULT bench=serving_latency struct=sharded_pma "
+                  "shards=%llu batch=%llu inserts_per_s=%.6e\n",
+                  (unsigned long long)sc, (unsigned long long)kBatchSize,
+                  base_pma);
+    }
+    if (cpma_on) {
+      base_cpma = run_baseline<cpma::SCPMA>(base, inserts, sc);
+      std::printf("RESULT bench=serving_latency struct=sharded_cpma "
+                  "shards=%llu batch=%llu inserts_per_s=%.6e\n",
+                  (unsigned long long)sc, (unsigned long long)kBatchSize,
+                  base_cpma);
+    }
+    for (uint64_t cl : clients) {
+      if (pma_on) {
+        ServeResult r = run_row<cpma::ServingPMA>(base, inserts, probes, sc,
+                                                  cl);
+        emit_result("serving_pma", sc, cl, r);
+        if (cl == 0 && base_pma > 0) {
+          std::printf("# serving_pma shards=%llu ingest overhead: %.3fx of "
+                      "phase-based sharded_pma\n",
+                      (unsigned long long)sc, r.ingest_per_s / base_pma);
+        }
+      }
+      if (cpma_on) {
+        ServeResult r = run_row<cpma::ServingCPMA>(base, inserts, probes, sc,
+                                                   cl);
+        emit_result("serving_cpma", sc, cl, r);
+        if (cl == 0 && base_cpma > 0) {
+          std::printf("# serving_cpma shards=%llu ingest overhead: %.3fx of "
+                      "phase-based sharded_cpma\n",
+                      (unsigned long long)sc, r.ingest_per_s / base_cpma);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -33,8 +33,12 @@ int main() {
               (unsigned long long)set.size());
 
   // --- ordered queries -----------------------------------------------------
-  std::printf("min=%llu max=%llu sum=%llu\n", (unsigned long long)set.min(),
-              (unsigned long long)set.max(), (unsigned long long)set.sum());
+  // min()/max() return std::optional — nullopt on an empty set (key 0 is a
+  // real storable key here, so 0 cannot double as the empty sentinel).
+  std::printf("min=%llu max=%llu sum=%llu\n",
+              (unsigned long long)set.min().value(),
+              (unsigned long long)set.max().value(),
+              (unsigned long long)set.sum());
   auto suc = set.successor(1000);
   std::printf("successor(1000) = %llu\n",
               (unsigned long long)(suc ? *suc : 0));

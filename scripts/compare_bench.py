@@ -2,9 +2,10 @@
 """Compare a fresh BENCH_*.json against a committed snapshot.
 
 Records are matched on their identifying fields (every string-valued field
-plus integer dimensions like batch=), and every *_per_s throughput field is
-compared as new/old. Exits 1 when any matched throughput falls below
---tolerance of the snapshot — CI runs this with continue-on-error so the
+plus integer dimensions like batch= / shards= / clients=). Every *_per_s
+throughput field is compared as new/old and every *_p50_ns / *_p99_ns
+latency field as old/new, so a ratio >= 1.0 always means "no worse than the
+snapshot". Exits 1 when any matched value falls below --tolerance — CI runs this with continue-on-error so the
 comparison is informative, not blocking (snapshots come from different
 hardware than the runners).
 
@@ -25,7 +26,7 @@ import sys
 
 # Dimension keys that identify a record (when present) in addition to all
 # string-valued fields.
-ID_INT_KEYS = {"batch", "shards", "cores"}
+ID_INT_KEYS = {"batch", "shards", "cores", "clients"}
 
 
 def record_id(record):
@@ -45,9 +46,22 @@ def throughput_fields(record):
     }
 
 
+def latency_fields(record):
+    """Percentile-latency fields (serving p50/p99 rows): lower is better."""
+    return {
+        k: v
+        for k, v in record.items()
+        if (k.endswith("_p50_ns") or k.endswith("_p99_ns"))
+        and isinstance(v, (int, float))
+        and v > 0
+    }
+
+
 def compare(old, new, tolerance):
     """Yields (tag, record_id, field, new_value, old_value, ratio) rows;
-    ratio/old_value are None for records absent from the snapshot."""
+    ratio/old_value are None for records absent from the snapshot. Ratios
+    are oriented so >= 1.0 always means "no worse than the snapshot":
+    new/old for throughput, old/new for latency."""
     old_by_id = {record_id(r): r for r in old.get("results", [])}
     for record in new.get("results", []):
         rid = record_id(record)
@@ -60,6 +74,13 @@ def compare(old, new, tolerance):
             if not isinstance(base_value, (int, float)) or base_value <= 0:
                 continue
             ratio = value / base_value
+            tag = "OK" if ratio >= tolerance else "REGR"
+            yield (tag, rid, field, value, base_value, ratio)
+        for field, value in latency_fields(record).items():
+            base_value = base.get(field)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            ratio = base_value / value
             tag = "OK" if ratio >= tolerance else "REGR"
             yield (tag, rid, field, value, base_value, ratio)
 

@@ -58,7 +58,15 @@ from compare_bench import record_id  # noqa: E402
 
 
 def primary_throughput(record):
-    return max(
+    """Best-of-N selection metric: higher is better.
+
+    Throughput records use their largest *_per_s field. Latency-only
+    records (e.g. serving read-latency rows) used to all tie at the 0.0
+    default, making best-of-N selection arbitrary; they now rank by
+    negated smallest percentile-latency field, so the lowest-latency run
+    wins.
+    """
+    tp = max(
         (
             v
             for k, v in record.items()
@@ -66,6 +74,18 @@ def primary_throughput(record):
         ),
         default=0.0,
     )
+    if tp > 0.0:
+        return tp
+    latencies = [
+        v
+        for k, v in record.items()
+        if (k.endswith("_p50_ns") or k.endswith("_p99_ns"))
+        and isinstance(v, (int, float))
+        and v > 0
+    ]
+    if latencies:
+        return -min(latencies)
+    return 0.0
 
 
 def merge_best(runs):

@@ -1,5 +1,6 @@
 #include "parallel/scheduler.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <random>
 
@@ -13,6 +14,25 @@ thread_local int tl_worker_id = -1;
 std::mutex g_instance_mutex;
 std::unique_ptr<Scheduler> g_instance;
 std::atomic<Scheduler*> g_instance_fast{nullptr};
+
+// ---- participant registry ------------------------------------------------
+// Dense thread ids for epoch participation (serve/). A free list recycles
+// the ids of exited threads; the thread_local holder returns its id in its
+// destructor.
+std::mutex g_participant_mutex;
+std::vector<unsigned> g_participant_free;
+unsigned g_participant_next = 0;
+
+struct ParticipantSlot {
+  int id = -1;
+  ~ParticipantSlot() {
+    if (id >= 0) {
+      std::lock_guard<std::mutex> lock(g_participant_mutex);
+      g_participant_free.push_back(static_cast<unsigned>(id));
+    }
+  }
+};
+thread_local ParticipantSlot tl_participant;
 
 unsigned default_worker_count() {
 #if defined(CPMA_FORCE_SERIAL)
@@ -56,6 +76,27 @@ void Scheduler::set_num_workers(unsigned n) {
 
 int Scheduler::current_worker_id() { return tl_worker_id; }
 
+unsigned Scheduler::participant_id() {
+  if (tl_participant.id < 0) {
+    std::lock_guard<std::mutex> lock(g_participant_mutex);
+    if (!g_participant_free.empty()) {
+      tl_participant.id = static_cast<int>(g_participant_free.back());
+      g_participant_free.pop_back();
+    } else {
+      // Exceeding the cap would alias two live threads onto one epoch pin
+      // slot, which silently breaks reclamation — fail loudly instead.
+      if (g_participant_next >= kMaxParticipants) {
+        std::fprintf(stderr,
+                     "cpma: more than %u concurrent epoch participants\n",
+                     kMaxParticipants);
+        std::abort();
+      }
+      tl_participant.id = static_cast<int>(g_participant_next++);
+    }
+  }
+  return static_cast<unsigned>(tl_participant.id);
+}
+
 Scheduler::Scheduler(unsigned num_workers)
     : num_workers_(num_workers == 0 ? 1 : num_workers) {
   deques_.reserve(num_workers_);
@@ -85,12 +126,15 @@ void Scheduler::push_local(JobBase* job) {
     std::lock_guard<std::mutex> lock(d.m);
     d.q.push_back(job);
   }
-  int64_t prev = d.size.fetch_add(1, std::memory_order_release);
+  // seq_cst pairs with the sleeper's seq_cst registration in worker_main
+  // (Dekker handshake): if this increment is not visible to a registering
+  // sleeper's re-check, then its sleepers_ increment IS visible to the load
+  // below and we take the notify path.
+  int64_t prev = d.size.fetch_add(1, std::memory_order_seq_cst);
   // Wake a sleeper only on the empty->nonempty transition: workers waking up
-  // fan out further wakeups via their own pushes, and the 1ms timed wait
-  // bounds the cost of a missed signal. Notifying on every push would put a
-  // futex syscall on the fork fast path.
-  if (prev == 0 && sleepers_.load(std::memory_order_relaxed) > 0) {
+  // fan out further wakeups via their own pushes. Notifying on every push
+  // would put a futex syscall on the fork fast path.
+  if (prev == 0 && sleepers_.load(std::memory_order_seq_cst) > 0) {
     notify_work();
   }
 }
@@ -153,9 +197,22 @@ void Scheduler::wait_for(JobBase* job) {
 }
 
 void Scheduler::notify_work() {
-  // Notifying without the mutex is allowed; sleepers use a timed wait, so a
-  // lost wakeup costs at most 1ms.
+  // Notify while holding sleep_mutex_: a sleeper that has registered in
+  // sleepers_ but not yet entered wait_for still holds the mutex, so taking
+  // it here serializes this notify after the sleeper parks (the wait
+  // releases the mutex) — or before its work re-check, which then sees the
+  // push. Without the lock that window dropped the signal and the sleeper
+  // idled out its full timed wait (a latency blip every idle->busy
+  // transition the serving layer's tail latencies would pay for).
+  std::lock_guard<std::mutex> lock(sleep_mutex_);
   sleep_cv_.notify_one();
+}
+
+bool Scheduler::have_pending_jobs() const {
+  for (const auto& d : deques_) {
+    if (d->size.load(std::memory_order_seq_cst) > 0) return true;
+  }
+  return false;
 }
 
 void Scheduler::worker_main(unsigned id) {
@@ -172,10 +229,19 @@ void Scheduler::worker_main(unsigned id) {
       std::this_thread::yield();
       continue;
     }
-    // Nothing to do: sleep with a timeout so a lost wakeup costs at most 1ms.
+    // Nothing to do: register as a sleeper, then RE-CHECK the deques before
+    // parking. A push can land between the failed steal sweep above and the
+    // registration; push_local only notifies when it observes sleepers_ > 0,
+    // so skipping this re-check would miss that push entirely. The seq_cst
+    // order (register, then probe) against push_local's (publish size, then
+    // probe sleepers_) guarantees at least one side sees the other. The
+    // timed wait stays as a belt-and-braces backstop, not a correctness
+    // requirement.
     std::unique_lock<std::mutex> lock(sleep_mutex_);
-    sleepers_.fetch_add(1, std::memory_order_relaxed);
-    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    if (!have_pending_jobs() && !stop_.load(std::memory_order_acquire)) {
+      sleep_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
     failed_rounds = 0;
   }

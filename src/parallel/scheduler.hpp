@@ -84,6 +84,17 @@ class Scheduler {
   // Thread-local worker id; -1 on threads not part of the pool.
   static int current_worker_id();
 
+  // ---- participant registry (serve/ epoch reclamation) ---------------------
+  // Any thread — pool worker, registered master, or an external client
+  // thread of the serving layer — can claim a stable dense id below
+  // kMaxParticipants. Ids are assigned lazily on first call, cached in a
+  // thread-local, and returned to a free list when the thread exits, so
+  // long-lived servers with thread churn do not exhaust the space. The
+  // serve/ epoch manager sizes its pin-slot array by kMaxParticipants and
+  // indexes it with this id.
+  static constexpr unsigned kMaxParticipants = 512;
+  static unsigned participant_id();
+
   void push_local(JobBase* job);
   // Pops the bottom of the local deque if it equals `job` (i.e. the job was
   // not stolen). Returns true when the caller should run it inline.
@@ -119,6 +130,11 @@ class Scheduler {
   void worker_main(unsigned id);
   JobBase* steal_from_others(unsigned self);
   void notify_work();
+  // Any deque nonempty? Sleepers re-check this after registering in
+  // sleepers_ so a push racing the registration cannot be missed (the
+  // seq_cst size increment in push_local and the seq_cst registration in
+  // worker_main form the store/load pair of the handshake).
+  bool have_pending_jobs() const;
 
   unsigned num_workers_;
   std::vector<std::unique_ptr<WorkerDeque>> deques_;

@@ -12,6 +12,7 @@
 #include "pma/leaf_uncompressed.hpp"
 #include "pma/pma.hpp"
 #include "pma/sharded.hpp"
+#include "serve/serving.hpp"
 
 namespace cpma {
 
@@ -24,5 +25,10 @@ using CPMA = pma::PackedMemoryArray<pma::CompressedLeaf<>>;
 // API (see pma/sharded.hpp for the router/rebalancer design).
 using SPMA = pma::ShardedPMA<PMA>;
 using SCPMA = pma::ShardedPMA<CPMA>;
+
+// Concurrent serving layer: epoch-pinned read snapshots over a sharded
+// store, flat-combining ingest front end (see serve/serving.hpp).
+using ServingPMA = serve::ServingPMA<PMA>;
+using ServingCPMA = serve::ServingPMA<CPMA>;
 
 }  // namespace cpma

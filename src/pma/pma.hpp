@@ -191,22 +191,27 @@ class PackedMemoryArray {
     return std::nullopt;
   }
 
-  key_type min() const {
-    if (has_zero_) return 0;
+  // Empty set -> nullopt. (These used to return key 0 on empty, which
+  // collides with the out-of-band zero sentinel: {} and {0} both answered
+  // min() == 0. The optional keeps the two distinguishable.)
+  std::optional<key_type> min() const {
+    if (has_zero_) return key_type{0};
     for (uint64_t l = 0; l < num_leaves_; ++l) {
       key_type h = Leaf::head(leaf_ptr(l));
       if (h != 0) return h;
     }
-    return 0;
+    return std::nullopt;
   }
 
-  key_type max() const {
+  std::optional<key_type> max() const {
     for (uint64_t l = num_leaves_; l-- > 0;) {
       if (Leaf::head(leaf_ptr(l)) != 0) {
         return Leaf::last(leaf_ptr(l), leaf_bytes_);
       }
     }
-    return 0;
+    // No non-zero keys: the zero sentinel alone is the maximum.
+    if (has_zero_) return key_type{0};
+    return std::nullopt;
   }
 
   // ---- batch operations (Section 4 of the paper) --------------------------

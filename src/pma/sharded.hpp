@@ -99,6 +99,7 @@ class ShardedPMA {
     }
     shards_.reserve(s);
     for (uint64_t i = 0; i < s; ++i) shards_.emplace_back(settings_.engine);
+    versions_.assign(s, 0);
     // All-UINT64_MAX splitters route every key below 2^64-1 to shard 0,
     // which is exactly the degenerate one-shard layout an empty structure
     // wants; seeding or rebalancing replaces them.
@@ -122,6 +123,7 @@ class ShardedPMA {
     par::parallel_for(0, shards_.size(), [&](uint64_t s) {
       shards_[s].build_from_sorted(keys.data() + bounds[s],
                                    bounds[s + 1] - bounds[s]);
+      if (bounds[s + 1] > bounds[s]) ++versions_[s];
     }, 1);
   }
 
@@ -132,7 +134,16 @@ class ShardedPMA {
     for (const Engine& e : shards_) total += e.size();
     return total;
   }
-  bool empty() const { return size() == 0; }
+
+  // Short-circuits on the first non-empty shard instead of summing all S
+  // shard sizes — empty() sits on hot guard paths (splitter seeding, the
+  // serving layer's per-op checks) where the O(S) size() walk showed up.
+  bool empty() const {
+    for (const Engine& e : shards_) {
+      if (!e.empty()) return false;
+    }
+    return true;
+  }
 
   uint64_t get_size() const {
     uint64_t total = sizeof(*this) + splitters_.capacity() * sizeof(key_type);
@@ -144,6 +155,13 @@ class ShardedPMA {
   const Engine& shard(uint64_t s) const { return shards_[s]; }
   const std::vector<key_type>& splitters() const { return splitters_; }
   const ShardedSettings& settings() const { return settings_; }
+
+  // Monotone per-shard mutation counter: bumped whenever the shard's SET
+  // CONTENT may have changed (point op that took effect, batch slice with a
+  // nonzero delta, boundary move). Equal versions across two observations
+  // guarantee identical content — the serving layer's snapshot publisher
+  // uses this to copy only dirty shards and share the rest.
+  uint64_t shard_version(uint64_t s) const { return versions_[s]; }
 
   // Per-shard content bytes (the rebalance coordinate), computed in
   // parallel; benches report min/max of this as the imbalance statistic.
@@ -159,9 +177,19 @@ class ShardedPMA {
 
   bool has(key_type key) const { return shards_[shard_for(key)].has(key); }
 
-  bool insert(key_type key) { return shards_[shard_for(key)].insert(key); }
+  bool insert(key_type key) {
+    const uint64_t s = shard_for(key);
+    const bool added = shards_[s].insert(key);
+    if (added) ++versions_[s];
+    return added;
+  }
 
-  bool remove(key_type key) { return shards_[shard_for(key)].remove(key); }
+  bool remove(key_type key) {
+    const uint64_t s = shard_for(key);
+    const bool removed = shards_[s].remove(key);
+    if (removed) ++versions_[s];
+    return removed;
+  }
 
   std::optional<key_type> successor(key_type key) const {
     for (uint64_t s = shard_for(key); s < shards_.size(); ++s) {
@@ -170,18 +198,20 @@ class ShardedPMA {
     return std::nullopt;
   }
 
-  key_type min() const {
+  // Empty set -> nullopt. (These used to return key 0, which is a real,
+  // storable key here — an empty structure was indistinguishable from {0}.)
+  std::optional<key_type> min() const {
     for (const Engine& e : shards_) {
-      if (!e.empty()) return e.min();
+      if (auto v = e.min()) return v;
     }
-    return 0;
+    return std::nullopt;
   }
 
-  key_type max() const {
+  std::optional<key_type> max() const {
     for (uint64_t s = shards_.size(); s-- > 0;) {
-      if (!shards_[s].empty()) return shards_[s].max();
+      if (auto v = shards_[s].max()) return v;
     }
-    return 0;
+    return std::nullopt;
   }
 
   // ---- batch operations ---------------------------------------------------
@@ -270,6 +300,8 @@ class ShardedPMA {
             shards_[i + 1].insert_batch(moved.data(), moved.size(),
                                         /*sorted=*/true);
             splitters_[i] = *split;
+            ++versions_[i];
+            ++versions_[i + 1];
             ++router_times_.moves;
             bytes[i] = shards_[i].content_bytes();
             bytes[i + 1] = shards_[i + 1].content_bytes();
@@ -290,6 +322,8 @@ class ShardedPMA {
           shards_[i].insert_batch(moved.data(), moved.size(),
                                   /*sorted=*/true);
           splitters_[i] = cut;
+          ++versions_[i];
+          ++versions_[i + 1];
           ++router_times_.moves;
           bytes[i] = shards_[i].content_bytes();
           bytes[i + 1] = shards_[i + 1].content_bytes();
@@ -437,10 +471,10 @@ class ShardedPMA {
     for (uint64_t s = 0; s < shards_.size(); ++s) {
       if (shards_[s].empty()) continue;
       const key_type lo = s == 0 ? 0 : splitters_[s - 1];
-      if (shards_[s].min() < lo) {
+      if (*shards_[s].min() < lo) {
         return fail("shard " + std::to_string(s) + " min below its range");
       }
-      if (s + 1 < shards_.size() && shards_[s].max() >= splitters_[s]) {
+      if (s + 1 < shards_.size() && *shards_[s].max() >= splitters_[s]) {
         return fail("shard " + std::to_string(s) + " max above its range");
       }
     }
@@ -528,6 +562,8 @@ class ShardedPMA {
         delta[s] = IsInsert
                        ? shards_[s].insert_batch(input + b, e - b, true)
                        : shards_[s].remove_batch(input + b, e - b, true);
+        // Disjoint s per sibling task, so the plain increment is race-free.
+        if (delta[s] > 0) ++versions_[s];
       } else {
         delta[s] = 0;
       }
@@ -582,6 +618,7 @@ class ShardedPMA {
   ShardedSettings settings_;
   std::vector<Engine> shards_;
   std::vector<key_type> splitters_;  // ascending; size num_shards() - 1
+  std::vector<uint64_t> versions_;   // see shard_version()
   ShardRouterTimes router_times_;
   uint64_t batches_since_byte_check_ = 0;
 };

@@ -1,0 +1,105 @@
+// Flat-combining ingest queues for the serving layer.
+//
+// Many client threads issue single-key inserts/removes; the engines eat
+// sorted batches. A CombiningQueue is the per-shard meeting point: clients
+// append ops under a short per-queue mutex (contention is spread across
+// shards by key-routing the clients), and ONE combiner thread at a time
+// drains whole queues and applies them as the batches the engine already
+// optimizes for. That is the flat-combining bargain: instead of S clients
+// each fighting the structure with a point update, one thread does the
+// combined work of all of them through the batch pipeline, and everyone
+// else just publishes its op and leaves.
+//
+// Flush triggers (checked by the serving layer, not the queue):
+//  * size: pending() >= combine_batch — the enqueueing client that crosses
+//    the threshold volunteers to combine IF the writer lock is free
+//    (try_lock; a busy combiner means someone else already does the work).
+//  * age: oldest_pending_ns() older than max_combine_delay_ns — applied by
+//    the next combiner pass or an explicit poll() from a combiner thread.
+//
+// FIFO per queue is preserved: drain() hands back the ops in enqueue order
+// and the serving layer applies them as maximal same-op runs, so an
+// insert(k) ... remove(k) sequence through one queue lands in order.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cpma::serve {
+
+inline uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class CombiningQueue {
+ public:
+  struct Op {
+    uint64_t key;
+    bool is_insert;
+  };
+
+  CombiningQueue() = default;
+  // Queues live in a per-shard vector; moves only happen at setup time,
+  // before any concurrent use.
+  CombiningQueue(CombiningQueue&& o) noexcept : ops_(std::move(o.ops_)) {
+    pending_.store(o.pending_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    oldest_ns_.store(o.oldest_ns_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+
+  // Appends an op; returns the number of ops now pending (so the caller can
+  // compare against its combine threshold without a second lock).
+  uint64_t push(uint64_t key, bool is_insert) {
+    std::lock_guard<std::mutex> lock(m_);
+    if (ops_.empty()) {
+      oldest_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+    }
+    ops_.push_back(Op{key, is_insert});
+    uint64_t n = ops_.size();
+    pending_.store(n, std::memory_order_release);
+    return n;
+  }
+
+  // Moves all pending ops into `out` (cleared first); returns the count.
+  // Combiner side.
+  uint64_t drain(std::vector<Op>& out) {
+    out.clear();
+    std::lock_guard<std::mutex> lock(m_);
+    out.swap(ops_);
+    // Keep the drained vector's capacity as the next buffer: steady-state
+    // combining then allocates nothing on either side.
+    pending_.store(0, std::memory_order_release);
+    return out.size();
+  }
+
+  // Lock-free probes for the flush-trigger checks.
+  uint64_t pending() const { return pending_.load(std::memory_order_acquire); }
+  uint64_t oldest_pending_ns() const {
+    return oldest_ns_.load(std::memory_order_relaxed);
+  }
+
+  bool due(uint64_t combine_batch, uint64_t max_delay_ns,
+           uint64_t now_ns) const {
+    uint64_t n = pending();
+    if (n == 0) return false;
+    if (n >= combine_batch) return true;
+    uint64_t oldest = oldest_pending_ns();
+    return now_ns >= oldest && now_ns - oldest >= max_delay_ns;
+  }
+
+ private:
+  std::mutex m_;
+  std::vector<Op> ops_;
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint64_t> oldest_ns_{0};  // enqueue time of the oldest op
+};
+
+}  // namespace cpma::serve

@@ -1,0 +1,124 @@
+// Epoch-based reclamation for the serving layer's read snapshots.
+//
+// The serving layer (serve/serving.hpp) publishes immutable snapshot views
+// through a single atomic pointer; readers must be able to keep using a view
+// after the writer has replaced it, and the writer must eventually free
+// replaced views without ever making a reader wait. Classic epoch-based
+// reclamation (EBR) gives exactly that:
+//
+//  * A global epoch counter only the writer advances.
+//  * One pin slot per participating thread (dense ids from
+//    par::Scheduler::participant_id()). A reader PINS by publishing the
+//    current global epoch into its slot before it dereferences the snapshot
+//    pointer, and UNPINS by restoring the idle sentinel. Pins are two
+//    relaxed-cost atomic stores plus loads — readers never take a lock and
+//    never block on the writer.
+//  * When the writer retires a view it stamps it with the post-advance
+//    epoch E. Any reader still holding the old view pinned an epoch < E
+//    (the seq_cst ordering between the snapshot swap, the advance, and the
+//    reader's pin-then-load sequence makes this exact, not approximate), so
+//    the view is reclaimable once min_active() >= E.
+//
+// Safety argument (all marked operations are seq_cst, so they have one
+// total order): the writer swaps the snapshot pointer and THEN advances the
+// epoch to E; a reader stores its pin p and THEN loads the pointer. If the
+// reader obtained the old view, its pointer load preceded the swap, hence
+// its pin store preceded the advance, hence p < E and the pin stays visible
+// to every later min_active() scan until the reader unpins. Conversely a
+// reader that pins p >= E loads the pointer after the swap and gets the new
+// view. Therefore min_active() >= E proves no reader holds the old view.
+//
+// Nesting: a thread that pins while already pinned keeps its outer (older)
+// epoch — conservative and safe. Guards must be destroyed on the thread
+// that created them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+
+namespace cpma::serve {
+
+class EpochManager {
+ public:
+  static constexpr uint64_t kIdle = UINT64_MAX;
+
+  EpochManager() : slots_(par::Scheduler::kMaxParticipants) {}
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // RAII pin of the current epoch for the calling thread.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& o) noexcept : slot_(o.slot_) { o.slot_ = nullptr; }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        release();
+        slot_ = o.slot_;
+        o.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+   private:
+    friend class EpochManager;
+    explicit Guard(std::atomic<uint64_t>* slot) : slot_(slot) {}
+    void release() {
+      if (slot_ != nullptr) {
+        slot_->store(kIdle, std::memory_order_seq_cst);
+        slot_ = nullptr;
+      }
+    }
+    // nullptr for a nested (no-op) guard: the outer pin already protects.
+    std::atomic<uint64_t>* slot_ = nullptr;
+  };
+
+  Guard pin() {
+    std::atomic<uint64_t>& slot = slots_[par::Scheduler::participant_id()].e;
+    if (slot.load(std::memory_order_relaxed) != kIdle) {
+      return Guard(nullptr);  // nested pin: keep the outer epoch
+    }
+    // Publish the pin, then confirm the epoch did not advance underneath —
+    // one retry round keeps the published pin at most one epoch stale,
+    // which tightens (but is not required by) the reclamation bound.
+    uint64_t e = global_.load(std::memory_order_seq_cst);
+    slot.store(e, std::memory_order_seq_cst);
+    uint64_t now = global_.load(std::memory_order_seq_cst);
+    if (now != e) slot.store(now, std::memory_order_seq_cst);
+    return Guard(&slot);
+  }
+
+  uint64_t current() const { return global_.load(std::memory_order_seq_cst); }
+
+  // Writer-side: advance the global epoch; returns the NEW value, used as
+  // the retire stamp of whatever became unreachable before the advance.
+  uint64_t advance() {
+    return global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  }
+
+  // Oldest pinned epoch, or current() when nothing is pinned. Objects
+  // retired with stamp E are reclaimable once min_active() >= E.
+  uint64_t min_active() const {
+    uint64_t min = current();
+    for (const Slot& s : slots_) {
+      uint64_t e = s.e.load(std::memory_order_seq_cst);
+      if (e != kIdle && e < min) min = e;
+    }
+    return min;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> e{kIdle};
+  };
+  std::atomic<uint64_t> global_{1};
+  std::vector<Slot> slots_;  // indexed by Scheduler::participant_id()
+};
+
+}  // namespace cpma::serve

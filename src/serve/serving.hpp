@@ -1,0 +1,350 @@
+// ServingPMA<Engine> — concurrent reads while ingesting, on the sharding
+// seam.
+//
+// Everything below pma/ is phase-based fork-join: a batch runs, then
+// queries run. This layer turns the composition into a serving system:
+//
+//   writer side                       reader side
+//   -----------                      -----------
+//   ShardedPMA<Engine> store_        epoch-pinned SnapshotView
+//   (single writer, full batch       (immutable; raw pointers; never
+//    parallelism inside)              blocks, never takes a lock)
+//
+//  * READS: snapshot() pins the current epoch and returns an accessor over
+//    the latest published SnapshotView — the full read API (has, successor,
+//    min/max, map/map_range/map_range_length, iteration) against a frozen,
+//    consistent picture of the set. The pin keeps the view (and every shard
+//    engine it shares) alive across any number of concurrent batch applies,
+//    rebalances, and republishes; dropping the guard lets the writer
+//    reclaim. Readers NEVER block on the writer: the handoff is one atomic
+//    pointer load under two atomic slot stores.
+//  * WRITES: a single writer applies batches to store_ under writer_mutex_
+//    (the engine pipeline keeps its internal fork-join parallelism), then
+//    publishes a fresh view. Publishing is copy-on-write at shard
+//    granularity: per-shard version counters (the publish hooks on
+//    ShardedPMA) tell the publisher which shard engines changed; unchanged
+//    shards are shared with the previous view.
+//  * INGEST FRONT END: many client threads call insert()/remove(); ops are
+//    routed by the published splitters into per-shard CombiningQueues and
+//    applied by a flat combiner — the client whose enqueue crosses
+//    combine_batch volunteers (try_lock; never blocks) or an explicit
+//    poll()/flush() drains queues past their size/age thresholds. Queue
+//    slices go through the sharded batch router, so splitter drift between
+//    enqueue-time routing and apply time is harmless (the router re-routes).
+//
+// Publish cadence ("when do readers see a batch"): flush() is always
+// immediate. Otherwise a publish runs after a write when EITHER
+//  * publish_eager is set (tests), OR
+//  * the accumulated publish cost stays within publish_budget of the
+//    accumulated apply cost (self-tuning: snapshotting is bounded to a
+//    fixed fraction of ingest work, whatever the machine), OR
+//  * the current view is older than max_staleness_ns (hard freshness cap).
+// So a reader observes a batch no later than one publish interval after its
+// apply; with the defaults that is a few percent of ingest time, capped at
+// max_staleness_ns.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pma/sharded.hpp"
+#include "serve/combiner.hpp"
+#include "serve/epoch.hpp"
+#include "serve/snapshot.hpp"
+
+namespace cpma::serve {
+
+struct ServingSettings {
+  // Write-side composition (shard count, rebalance policy, engine bounds).
+  pma::ShardedSettings sharded;
+
+  // Flat-combining flush thresholds: a queue is due when it holds this many
+  // ops, or when its oldest op is older than max_combine_delay_ns (age
+  // flushes happen on the next combiner pass / poll()).
+  uint64_t combine_batch = 4096;
+  uint64_t max_combine_delay_ns = 2'000'000;  // 2 ms
+
+  // Publish cadence (see file header). Budget is publish-time over
+  // apply-time; 0.05 bounds snapshotting to ~5% of ingest work.
+  double publish_budget = 0.05;
+  uint64_t max_staleness_ns = 100'000'000;  // 100 ms
+  // Publish after every write regardless of cost — deterministic visibility
+  // for tests and read-mostly workloads.
+  bool publish_eager = false;
+};
+
+struct ServingStats {
+  uint64_t publishes = 0;      // views published
+  uint64_t shard_copies = 0;   // shard engines copied across all publishes
+  uint64_t combines = 0;       // combiner passes that applied ops
+  uint64_t combined_ops = 0;   // ops applied through the combiner
+  uint64_t publish_ns = 0;     // total time in publish (copy + swap)
+  uint64_t apply_ns = 0;       // total time applying writes to the store
+  uint64_t retired_views = 0;  // retired, not yet reclaimed
+  uint64_t reclaimed_views = 0;
+};
+
+template <typename Engine>
+class ServingPMA {
+ public:
+  using key_type = uint64_t;
+  using engine_type = Engine;
+  using View = SnapshotView<Engine>;
+
+  explicit ServingPMA(ServingSettings settings = {})
+      : settings_(settings), store_(settings.sharded) {
+    queues_ = std::vector<CombiningQueue>(store_.num_shards());
+    snap_versions_.assign(store_.num_shards(), 0);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    publish_locked(/*forced=*/true);
+  }
+
+  // Bulk construction: build the store, then publish the first view.
+  ServingPMA(const key_type* start, const key_type* end,
+             ServingSettings settings = {})
+      : settings_(settings), store_(start, end, settings.sharded) {
+    queues_ = std::vector<CombiningQueue>(store_.num_shards());
+    snap_versions_.assign(store_.num_shards(), 0);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    publish_locked(/*forced=*/true);
+  }
+
+  // ---- read side ----------------------------------------------------------
+
+  // An epoch-pinned accessor over one immutable view. Movable; keep it only
+  // as long as needed — a held pin delays reclamation of every view
+  // published since (bounded memory: one engine copy per dirty shard per
+  // retired view).
+  class Snapshot {
+   public:
+    bool has(key_type key) const { return view_->has(key); }
+    std::optional<key_type> successor(key_type key) const {
+      return view_->successor(key);
+    }
+    std::optional<key_type> min() const { return view_->min(); }
+    std::optional<key_type> max() const { return view_->max(); }
+    uint64_t size() const { return view_->size(); }
+    bool empty() const { return view_->empty(); }
+    template <typename F>
+    void map(F&& f) const {
+      view_->map(std::forward<F>(f));
+    }
+    template <typename F>
+    void map_range(F&& f, key_type start, key_type end) const {
+      view_->map_range(std::forward<F>(f), start, end);
+    }
+    template <typename F>
+    uint64_t map_range_length(F&& f, key_type start, uint64_t length) const {
+      return view_->map_range_length(std::forward<F>(f), start, length);
+    }
+    typename View::const_iterator begin() const { return view_->begin(); }
+    typename View::const_iterator end() const { return view_->end(); }
+    const View& view() const { return *view_; }
+
+   private:
+    friend class ServingPMA;
+    Snapshot(EpochManager::Guard guard, const View* view)
+        : guard_(std::move(guard)), view_(view) {}
+    EpochManager::Guard guard_;
+    const View* view_;
+  };
+
+  Snapshot snapshot() const {
+    // Pin FIRST, then load the pointer — the order the reclamation proof
+    // rests on (serve/epoch.hpp).
+    EpochManager::Guard guard = epochs_.pin();
+    const View* v = holder_.acquire();
+    return Snapshot(std::move(guard), v);
+  }
+
+  // Pin-per-call conveniences for single point reads.
+  bool has(key_type key) const { return snapshot().has(key); }
+  std::optional<key_type> successor(key_type key) const {
+    return snapshot().successor(key);
+  }
+  uint64_t size() const { return snapshot().size(); }
+
+  // ---- ingest front end (any client thread) -------------------------------
+
+  void insert(key_type key) { enqueue(key, /*is_insert=*/true); }
+  void remove(key_type key) { enqueue(key, /*is_insert=*/false); }
+
+  // Combiner tick: drain every queue past its size/age threshold and
+  // publish if due. Safe from any thread; blocks on the writer lock (use it
+  // from a dedicated combiner/writer thread, not from latency-sensitive
+  // clients — clients combine opportunistically via try_lock instead).
+  uint64_t poll() {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    return combine_locked(/*force_all=*/false);
+  }
+
+  // Drains ALL queued ops and publishes immediately: after flush() returns,
+  // every op enqueued before it is visible to new snapshots.
+  void flush() {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    combine_locked(/*force_all=*/true);
+    publish_locked(/*forced=*/true);
+  }
+
+  // ---- synchronous batch writes (single writer thread) --------------------
+
+  uint64_t insert_batch(key_type* input, uint64_t n, bool sorted = false) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    detail_timer t;
+    uint64_t delta = store_.insert_batch(input, n, sorted);
+    stats_.apply_ns += t.lap();
+    publish_locked(/*forced=*/false);
+    return delta;
+  }
+  uint64_t insert_batch(std::vector<key_type> batch, bool sorted = false) {
+    return insert_batch(batch.data(), batch.size(), sorted);
+  }
+
+  uint64_t remove_batch(key_type* input, uint64_t n, bool sorted = false) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    detail_timer t;
+    uint64_t delta = store_.remove_batch(input, n, sorted);
+    stats_.apply_ns += t.lap();
+    publish_locked(/*forced=*/false);
+    return delta;
+  }
+  uint64_t remove_batch(std::vector<key_type> batch, bool sorted = false) {
+    return remove_batch(batch.data(), batch.size(), sorted);
+  }
+
+  // ---- introspection (writer side) ----------------------------------------
+
+  // The authoritative write-side structure. Mutating it directly bypasses
+  // version tracking ONLY if done outside its public API; the intended use
+  // is read-only inspection (phase times, invariants) from the writer.
+  const pma::ShardedPMA<Engine>& store() const { return store_; }
+  const ServingSettings& settings() const { return settings_; }
+
+  ServingStats stats() const {
+    ServingStats s = stats_;
+    s.retired_views = holder_.retired_count();
+    s.reclaimed_views = holder_.reclaimed_count();
+    return s;
+  }
+
+ private:
+  using detail_timer = pma::detail::PhaseTimer;
+
+  void enqueue(key_type key, bool is_insert) {
+    uint64_t pending;
+    {
+      // Route against the published splitters (stable under the pin). Drift
+      // vs the store's live splitters only costs queue locality — the
+      // combiner re-routes through the sharded batch dispatch.
+      Snapshot snap = snapshot();
+      const std::vector<key_type>& sp = snap.view().splitters();
+      uint64_t s = static_cast<uint64_t>(
+          std::upper_bound(sp.begin(), sp.end(), key) - sp.begin());
+      pending = queues_[s].push(key, is_insert);
+    }
+    if (pending >= settings_.combine_batch) {
+      // Volunteer as the combiner — but never wait: a held lock means an
+      // active combiner/writer will pick this queue up.
+      std::unique_lock<std::mutex> lock(writer_mutex_, std::try_to_lock);
+      if (lock.owns_lock()) combine_locked(/*force_all=*/false);
+    }
+  }
+
+  // Drains due (or all) queues, applying each slice as FIFO-ordered maximal
+  // same-op runs through the sharded batch router. Returns ops applied.
+  uint64_t combine_locked(bool force_all) {
+    uint64_t applied = 0;
+    bool progress = true;
+    // Keep sweeping until no queue is due: clients that enqueued while we
+    // were applying are served by this pass instead of waiting for the next
+    // threshold crossing.
+    while (progress) {
+      progress = false;
+      const uint64_t now = steady_now_ns();
+      for (CombiningQueue& q : queues_) {
+        if (!force_all && !q.due(settings_.combine_batch,
+                                 settings_.max_combine_delay_ns, now)) {
+          continue;
+        }
+        if (q.drain(drain_buf_) == 0) continue;
+        progress = true;
+        applied += drain_buf_.size();
+        detail_timer t;
+        uint64_t i = 0, n = drain_buf_.size();
+        while (i < n) {
+          const bool is_insert = drain_buf_[i].is_insert;
+          run_buf_.clear();
+          while (i < n && drain_buf_[i].is_insert == is_insert) {
+            run_buf_.push_back(drain_buf_[i].key);
+            ++i;
+          }
+          if (is_insert) {
+            store_.insert_batch(run_buf_.data(), run_buf_.size());
+          } else {
+            store_.remove_batch(run_buf_.data(), run_buf_.size());
+          }
+        }
+        stats_.apply_ns += t.lap();
+      }
+    }
+    if (applied > 0) {
+      ++stats_.combines;
+      stats_.combined_ops += applied;
+      publish_locked(/*forced=*/false);
+    }
+    return applied;
+  }
+
+  bool publish_due() const {
+    if (settings_.publish_eager) return true;
+    // Budget rule: total publish time stays within publish_budget of total
+    // apply time. The staleness cap overrides a starved budget.
+    if (static_cast<double>(stats_.publish_ns) <=
+        settings_.publish_budget * static_cast<double>(stats_.apply_ns)) {
+      return true;
+    }
+    return steady_now_ns() - last_publish_ns_ >= settings_.max_staleness_ns;
+  }
+
+  void publish_locked(bool forced) {
+    if (!forced && !publish_due()) return;
+    detail_timer t;
+    const View* old = holder_.acquire();
+    std::vector<std::shared_ptr<const Engine>> shards(store_.num_shards());
+    for (uint64_t s = 0; s < store_.num_shards(); ++s) {
+      const uint64_t v = store_.shard_version(s);
+      if (old != nullptr && snap_versions_[s] == v) {
+        shards[s] = old->shard_ref(s);  // unchanged: share with the old view
+      } else {
+        shards[s] = std::make_shared<const Engine>(store_.shard(s));
+        snap_versions_[s] = v;
+        ++stats_.shard_copies;
+      }
+    }
+    holder_.publish(
+        std::make_unique<const View>(store_.splitters(), std::move(shards)),
+        epochs_);
+    ++stats_.publishes;
+    stats_.publish_ns += t.lap();
+    last_publish_ns_ = steady_now_ns();
+  }
+
+  ServingSettings settings_;
+  pma::ShardedPMA<Engine> store_;   // writer-only
+  mutable EpochManager epochs_;     // pin() from reader threads
+  SnapshotHolder<View> holder_;     // acquire() from readers, rest writer
+  std::mutex writer_mutex_;
+  std::vector<CombiningQueue> queues_;    // one per shard
+  std::vector<uint64_t> snap_versions_;   // shard versions in current view
+  std::vector<CombiningQueue::Op> drain_buf_;  // combiner scratch (writer)
+  std::vector<key_type> run_buf_;
+  uint64_t last_publish_ns_ = 0;
+  ServingStats stats_;
+};
+
+}  // namespace cpma::serve

@@ -5,10 +5,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <numeric>
-#include <vector>
-
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "parallel/merge.hpp"
 #include "parallel/reduce.hpp"
@@ -268,6 +269,80 @@ TEST(Scheduler, StressManySmallParallelLoops) {
     std::atomic<int> c{0};
     par::parallel_for(0, 64, [&](uint64_t) { c.fetch_add(1); }, 1);
     ASSERT_EQ(c.load(), 64);
+  }
+}
+
+TEST(Scheduler, NoLostWakeupOnIdleToWorkTransition) {
+  // Regression: push_local once raced notify_work against the worker's
+  // sleep-decision (sleepers_ incremented after the empty check, notify
+  // issued without the sleep mutex), so a job pushed into an all-idle pool
+  // could wait out a full sleep timeout before running. Drive many
+  // idle->work transitions with deliberate idle gaps and require prompt
+  // completion: under the fixed Dekker handshake each region finishes in
+  // microseconds; a lost wakeup costs a visible timeout per region.
+  par::Scheduler::set_num_workers(4);
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < 300; ++round) {
+    // Let every worker drain and go to sleep.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    std::atomic<int> c{0};
+    par::parallel_for(0, 8, [&](uint64_t) { c.fetch_add(1); }, 1);
+    ASSERT_EQ(c.load(), 8) << "round " << round;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // 300 * 200us idle gaps ~ 60ms of deliberate sleeping; generous headroom
+  // for CI noise. Systematic lost wakeups (1ms timeout x 300 rounds) blow
+  // well past this.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+  par::Scheduler::set_num_workers(std::thread::hardware_concurrency());
+}
+
+TEST(Scheduler, ParticipantIdsAreDenseUniqueAndRecycled) {
+  const unsigned mine = par::Scheduler::participant_id();
+  EXPECT_LT(mine, par::Scheduler::kMaxParticipants);
+  // Stable within a thread.
+  EXPECT_EQ(par::Scheduler::participant_id(), mine);
+
+  // Concurrent threads get distinct ids.
+  const int n = 16;
+  std::vector<unsigned> ids(n);
+  {
+    std::vector<std::thread> threads;
+    std::atomic<int> ready{0};
+    for (int t = 0; t < n; ++t) {
+      threads.emplace_back([&, t]() {
+        ids[t] = par::Scheduler::participant_id();
+        ready.fetch_add(1);
+        // Hold the slot until every thread has claimed one, so ids are
+        // provably concurrent-distinct (no recycling during the overlap).
+        while (ready.load() < n) std::this_thread::yield();
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  std::set<unsigned> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(n));
+  for (unsigned id : ids) {
+    EXPECT_LT(id, par::Scheduler::kMaxParticipants);
+    EXPECT_NE(id, mine);
+  }
+
+  // Exited threads' slots are recycled: another wave must fit inside the
+  // union of the first wave's ids plus at most n fresh ones, never growing
+  // without bound.
+  std::vector<unsigned> second(n);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n; ++t) {
+      threads.emplace_back(
+          [&, t]() { second[t] = par::Scheduler::participant_id(); });
+      threads.back().join();
+    }
+  }
+  for (unsigned id : second) {
+    EXPECT_LT(id, mine + 2 * n + 2) << "slots not recycled";
   }
 }
 

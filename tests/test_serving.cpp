@@ -1,0 +1,469 @@
+// Serving-layer suite: epoch-pinned snapshots, flat-combining ingest, and
+// the concurrent differential test the layer exists to pass.
+//
+// The single-threaded tests pin down the visibility contract (publish_eager
+// vs budgeted publishes, flush barriers, combiner thresholds, FIFO order
+// through one queue) and snapshot immutability across batch applies and
+// rebalances. The concurrent tests run real reader threads against a live
+// writer under TSan-clean rules: readers only ever touch epoch slots, the
+// atomic view pointer, and immutable views; every assertion is phrased so
+// it holds for ANY legal interleaving (monotone published-count lower
+// bounds, subset-of-universe, sortedness of a frozen view) — no sleeps, no
+// timing assumptions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pma/cpma.hpp"
+#include "util/random.hpp"
+
+using cpma::pma::ShardedSettings;
+using cpma::serve::ServingPMA;
+using cpma::serve::ServingSettings;
+using cpma::util::Rng;
+
+namespace {
+
+template <typename E>
+struct ServingCase {
+  using Engine = E;
+};
+
+using Engines =
+    ::testing::Types<ServingCase<cpma::PMA>, ServingCase<cpma::CPMA>>;
+
+template <typename Case>
+class Serving : public ::testing::Test {};
+TYPED_TEST_SUITE(Serving, Engines);
+
+// Small shards + aggressive rebalancing so test-sized workloads exercise
+// boundary moves underneath live snapshots; eager publish by default so
+// visibility is deterministic (budget-mode tests override).
+ServingSettings test_settings(uint64_t shards, bool eager = true) {
+  ServingSettings s;
+  s.sharded.num_shards = shards;
+  s.sharded.rebalance_ratio = 1.5;
+  s.sharded.min_rebalance_bytes = 1 << 12;
+  s.publish_eager = eager;
+  return s;
+}
+
+// Deterministic key stream (odd multiplier => bijective over 2^64, keyed
+// so every i yields a distinct nonzero key).
+uint64_t key_at(uint64_t i) { return (i + 1) * 0x9E3779B97F4A7C15ull; }
+
+TYPED_TEST(Serving, EmptySnapshotReads) {
+  using Engine = typename TypeParam::Engine;
+  ServingPMA<Engine> s(test_settings(4));
+  auto snap = s.snapshot();
+  EXPECT_EQ(snap.size(), 0u);
+  EXPECT_TRUE(snap.empty());
+  EXPECT_FALSE(snap.has(0));
+  EXPECT_FALSE(snap.has(42));
+  EXPECT_EQ(snap.min(), std::nullopt);
+  EXPECT_EQ(snap.max(), std::nullopt);
+  EXPECT_EQ(snap.successor(0), std::nullopt);
+  EXPECT_EQ(snap.begin(), snap.end());
+  uint64_t count = 0;
+  snap.map_range([&](uint64_t) { ++count; }, 0, UINT64_MAX);
+  EXPECT_EQ(count, 0u);
+}
+
+TYPED_TEST(Serving, SnapshotIsImmutableAndNewSnapshotSeesBatch) {
+  using Engine = typename TypeParam::Engine;
+  ServingPMA<Engine> s(test_settings(4));
+  std::vector<uint64_t> first{0, 5, 10, UINT64_MAX};
+  s.insert_batch(first);
+
+  auto old_snap = s.snapshot();
+  EXPECT_EQ(old_snap.size(), 4u);
+  EXPECT_TRUE(old_snap.has(0));
+  EXPECT_EQ(old_snap.min(), std::optional<uint64_t>(0));
+  EXPECT_EQ(old_snap.max(), std::optional<uint64_t>(UINT64_MAX));
+
+  std::vector<uint64_t> second{7, 8, 9};
+  s.insert_batch(second);
+  std::vector<uint64_t> gone{5};
+  s.remove_batch(gone);
+
+  // The pinned view is frozen at its publish point...
+  EXPECT_EQ(old_snap.size(), 4u);
+  EXPECT_TRUE(old_snap.has(5));
+  EXPECT_FALSE(old_snap.has(7));
+  // ...while a fresh pin sees both later writes.
+  auto new_snap = s.snapshot();
+  EXPECT_EQ(new_snap.size(), 6u);
+  EXPECT_FALSE(new_snap.has(5));
+  EXPECT_TRUE(new_snap.has(7));
+  std::vector<uint64_t> got;
+  for (uint64_t k : new_snap) got.push_back(k);
+  EXPECT_EQ(got, (std::vector<uint64_t>{0, 7, 8, 9, 10, UINT64_MAX}));
+}
+
+TYPED_TEST(Serving, BudgetedPublishDefersUntilFlush) {
+  using Engine = typename TypeParam::Engine;
+  // Zero budget + effectively-infinite staleness cap: after the forced
+  // initial publish, no write may publish on its own; flush() must.
+  ServingSettings cfg = test_settings(2, /*eager=*/false);
+  cfg.publish_budget = 0.0;
+  cfg.max_staleness_ns = UINT64_MAX;
+  ServingPMA<Engine> s(cfg);
+
+  std::vector<uint64_t> batch{1, 2, 3, 4, 5};
+  s.insert_batch(batch);
+  EXPECT_EQ(s.snapshot().size(), 0u) << "zero budget must defer the publish";
+  EXPECT_EQ(s.stats().publishes, 1u);  // the constructor's only
+
+  s.flush();
+  EXPECT_EQ(s.snapshot().size(), 5u);
+  EXPECT_GE(s.stats().publishes, 2u);
+}
+
+TYPED_TEST(Serving, VersionGatedPublishCopiesOnlyDirtyShards) {
+  using Engine = typename TypeParam::Engine;
+  // Fixed splitters (no seeding below kSplitterSeedMin, rebalance floor
+  // high) so the batches below dirty exactly one known shard each.
+  ServingSettings cfg = test_settings(4);
+  cfg.sharded.min_rebalance_bytes = UINT64_MAX;
+  ServingPMA<Engine> s(cfg);
+  // All-UINT64_MAX splitters: every key routes to shard 0.
+  std::vector<uint64_t> batch{10, 20, 30};
+  s.insert_batch(batch);
+  uint64_t copies_after_first = s.stats().shard_copies;
+  std::vector<uint64_t> batch2{40, 50};
+  s.insert_batch(batch2);
+  // Second publish re-copied only shard 0; shards 1-3 were shared.
+  EXPECT_EQ(s.stats().shard_copies, copies_after_first + 1);
+  EXPECT_EQ(s.snapshot().size(), 5u);
+}
+
+TYPED_TEST(Serving, PinnedSnapshotSurvivesBatchesAndRebalance) {
+  using Engine = typename TypeParam::Engine;
+  ServingPMA<Engine> s(test_settings(4));
+
+  std::vector<uint64_t> initial;
+  for (uint64_t i = 0; i < 2000; ++i) initial.push_back(key_at(i));
+  s.insert_batch(initial);
+  std::vector<uint64_t> expect = initial;
+  std::sort(expect.begin(), expect.end());
+
+  auto pinned = s.snapshot();
+  ASSERT_EQ(pinned.size(), 2000u);
+
+  {
+    // Heavy skewed ingest: forces shard growth, rebalancing boundary moves,
+    // and a publish per batch — all while `pinned` stays pinned.
+    Rng rng(7);
+    for (int round = 0; round < 20; ++round) {
+      std::vector<uint64_t> batch;
+      for (uint64_t i = 0; i < 4000; ++i) {
+        batch.push_back(rng.next() % 100000 + 1);  // dense low range: skew
+      }
+      s.insert_batch(batch.data(), batch.size());
+    }
+    EXPECT_GT(s.store().router_times().rebalances, 0u)
+        << "workload failed to trigger a rebalance; weaken the settings";
+  }
+
+  // The pinned view still reads exactly the initial content.
+  std::vector<uint64_t> got;
+  for (uint64_t k : pinned) got.push_back(k);
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(pinned.has(key_at(0)));
+  EXPECT_FALSE(pinned.has(key_at(2000)));
+
+  // Retired views piled up behind the pin; releasing it lets the next
+  // publish reclaim them.
+  uint64_t retired_while_pinned = s.stats().retired_views;
+  EXPECT_GT(retired_while_pinned, 0u);
+  { auto drop = std::move(pinned); }
+  std::vector<uint64_t> tail{999999999ull};
+  s.insert_batch(tail);
+  EXPECT_LT(s.stats().retired_views, retired_while_pinned);
+  EXPECT_GT(s.stats().reclaimed_views, 0u);
+}
+
+TYPED_TEST(Serving, EnqueueCombinesOnThreshold) {
+  using Engine = typename TypeParam::Engine;
+  ServingSettings cfg = test_settings(2);
+  cfg.combine_batch = 64;
+  cfg.max_combine_delay_ns = UINT64_MAX;  // size trigger only
+  ServingPMA<Engine> s(cfg);
+
+  // 63 enqueues stay queued (below threshold, no age flush)...
+  for (uint64_t i = 0; i < 63; ++i) s.insert(key_at(i));
+  EXPECT_EQ(s.snapshot().size(), 0u);
+  EXPECT_EQ(s.stats().combines, 0u);
+  // ...the 64th crosses the threshold; the enqueueing client combines.
+  s.insert(key_at(63));
+  EXPECT_EQ(s.stats().combines, 1u);
+  EXPECT_EQ(s.stats().combined_ops, 64u);
+  auto snap = s.snapshot();
+  EXPECT_EQ(snap.size(), 64u);
+  for (uint64_t i = 0; i < 64; ++i) EXPECT_TRUE(snap.has(key_at(i)));
+}
+
+TYPED_TEST(Serving, CombinerPreservesFifoInsertRemoveOrder) {
+  using Engine = typename TypeParam::Engine;
+  // Single-queue regime: runs stay below the splitter-seed minimum and
+  // rebalancing is floored off, so the splitters never move and every op on
+  // one key goes through one FIFO queue.
+  ServingSettings cfg = test_settings(4);
+  cfg.sharded.min_rebalance_bytes = UINT64_MAX;
+  cfg.combine_batch = UINT64_MAX;  // only flush() applies
+  ServingPMA<Engine> s(cfg);
+
+  // insert k / remove k / insert k  => present; reverse pattern => absent.
+  for (uint64_t i = 0; i < 100; ++i) {
+    uint64_t k = key_at(i);
+    if (i % 2 == 0) {
+      s.insert(k);
+      s.remove(k);
+      s.insert(k);
+    } else {
+      s.insert(k);
+      s.remove(k);
+    }
+  }
+  s.flush();
+  auto snap = s.snapshot();
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(snap.has(key_at(i)), i % 2 == 0) << "i=" << i;
+  }
+  EXPECT_EQ(snap.size(), 50u);
+}
+
+TYPED_TEST(Serving, AgeFlushViaPoll) {
+  using Engine = typename TypeParam::Engine;
+  ServingSettings cfg = test_settings(2);
+  cfg.combine_batch = UINT64_MAX;
+  cfg.max_combine_delay_ns = 0;  // any pending op is immediately due
+  ServingPMA<Engine> s(cfg);
+
+  s.insert(11);
+  s.insert(22);
+  s.remove(33);
+  EXPECT_EQ(s.snapshot().size(), 0u);
+  EXPECT_EQ(s.poll(), 3u);
+  auto snap = s.snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_TRUE(snap.has(11));
+  EXPECT_TRUE(snap.has(22));
+  // Nothing pending: poll is a no-op.
+  EXPECT_EQ(s.poll(), 0u);
+}
+
+TYPED_TEST(Serving, StoreInvariantsHoldUnderServing) {
+  using Engine = typename TypeParam::Engine;
+  ServingPMA<Engine> s(test_settings(4));
+  Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<uint64_t> batch;
+    for (uint64_t i = 0; i < 3000; ++i) batch.push_back(rng.next());
+    s.insert_batch(batch.data(), batch.size());
+  }
+  std::string err;
+  EXPECT_TRUE(s.store().check_invariants(&err)) << err;
+  EXPECT_EQ(s.snapshot().size(), s.store().size());
+}
+
+// ---- concurrent tests -----------------------------------------------------
+
+// Readers against a live writer. Invariants checked from reader threads,
+// each valid under any interleaving:
+//  1. Lower bound: a count of published keys (incremented by the writer
+//     AFTER the publish) read BEFORE pinning is <= the pinned view's size.
+//  2. Monotonicity: sizes observed by one reader never decrease (insert-only
+//     phase; the single writer publishes increasing views).
+//  3. Consistency: a full iteration of a pinned view is strictly ascending,
+//     matches size(), and every key belongs to the known universe.
+//  4. Point/order parity within the frozen view: has(k) for iterated keys,
+//     successor stitching across shard boundaries.
+TYPED_TEST(Serving, ConcurrentReadersDifferential) {
+  using Engine = typename TypeParam::Engine;
+  cpma::par::Scheduler::set_num_workers(4);
+
+  const uint64_t kBatch = 1000;
+  const uint64_t kBatches = 40;
+  const uint64_t kTotal = kBatch * kBatches;
+
+  // Precomputed universe (also the oracle: insert-only, known order).
+  std::vector<uint64_t> universe(kTotal);
+  for (uint64_t i = 0; i < kTotal; ++i) universe[i] = key_at(i);
+  std::vector<uint64_t> sorted_universe = universe;
+  std::sort(sorted_universe.begin(), sorted_universe.end());
+
+  ServingPMA<Engine> s(test_settings(4));
+  std::atomic<uint64_t> published{0};
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> failures{0};
+
+  auto reader = [&]() {
+    uint64_t prev_size = 0;
+    uint64_t laps = 0;
+    while (!done.load(std::memory_order_acquire) || laps < 4) {
+      ++laps;
+      const uint64_t lower = published.load(std::memory_order_acquire);
+      auto snap = s.snapshot();
+      const uint64_t n = snap.size();
+      if (n < lower || n < prev_size || n > kTotal) {
+        failures.fetch_add(1);
+        break;
+      }
+      prev_size = n;
+      // Spot reads on every lap; full iteration every 8th.
+      if (auto mn = snap.min()) {
+        if (!snap.has(*mn) || snap.successor(0).value_or(*mn) != *mn) {
+          failures.fetch_add(1);
+          break;
+        }
+      } else if (n != 0) {
+        failures.fetch_add(1);
+        break;
+      }
+      if (laps % 8 == 0) {
+        uint64_t count = 0, prev = 0;
+        bool first = true, ok = true;
+        for (uint64_t k : snap) {
+          if (!first && k <= prev) ok = false;
+          prev = k;
+          first = false;
+          ++count;
+          if (count <= 16 &&
+              !std::binary_search(sorted_universe.begin(),
+                                  sorted_universe.end(), k)) {
+            ok = false;
+          }
+        }
+        if (!ok || count != n) {
+          failures.fetch_add(1);
+          break;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) readers.emplace_back(reader);
+
+  for (uint64_t b = 0; b < kBatches; ++b) {
+    std::vector<uint64_t> batch(universe.begin() + b * kBatch,
+                                universe.begin() + (b + 1) * kBatch);
+    s.insert_batch(batch.data(), batch.size());
+    // Publish happened (eager) before this store: the count is a valid
+    // lower bound for every later pin.
+    published.store((b + 1) * kBatch, std::memory_order_release);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  auto final_snap = s.snapshot();
+  EXPECT_EQ(final_snap.size(), kTotal);
+  std::vector<uint64_t> got;
+  for (uint64_t k : final_snap) got.push_back(k);
+  EXPECT_EQ(got, sorted_universe);
+  std::string err;
+  EXPECT_TRUE(s.store().check_invariants(&err)) << err;
+}
+
+// Many client threads enqueue through the combining front end; combining
+// happens opportunistically on whichever client crosses a threshold. After
+// a final flush the structure must hold exactly the union of all clients'
+// disjoint key ranges.
+TYPED_TEST(Serving, ConcurrentEnqueueClients) {
+  using Engine = typename TypeParam::Engine;
+  cpma::par::Scheduler::set_num_workers(4);
+
+  const int kClients = 4;
+  const uint64_t kPerClient = 4000;
+  ServingSettings cfg = test_settings(4);
+  cfg.combine_batch = 256;
+  cfg.max_combine_delay_ns = UINT64_MAX;
+  ServingPMA<Engine> s(cfg);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c]() {
+      for (uint64_t i = 0; i < kPerClient; ++i) {
+        s.insert(key_at(c * kPerClient + i));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  s.flush();
+
+  auto snap = s.snapshot();
+  EXPECT_EQ(snap.size(), uint64_t{kClients} * kPerClient);
+  EXPECT_GT(s.stats().combines, 0u);
+  EXPECT_EQ(s.stats().combined_ops, uint64_t{kClients} * kPerClient);
+  Rng rng(3);
+  for (int probe = 0; probe < 1000; ++probe) {
+    uint64_t i = rng.next() % (uint64_t{kClients} * kPerClient);
+    ASSERT_TRUE(snap.has(key_at(i))) << "i=" << i;
+  }
+  std::string err;
+  EXPECT_TRUE(s.store().check_invariants(&err)) << err;
+}
+
+// Readers pin while clients enqueue AND combine concurrently — the full
+// serving loop (enqueue -> opportunistic combine -> publish -> reclaim)
+// with all three roles live at once.
+TYPED_TEST(Serving, ReadersAndEnqueueClientsTogether) {
+  using Engine = typename TypeParam::Engine;
+  cpma::par::Scheduler::set_num_workers(4);
+
+  const int kClients = 2;
+  const uint64_t kPerClient = 3000;
+  ServingSettings cfg = test_settings(4);
+  cfg.combine_batch = 128;
+  cfg.max_combine_delay_ns = UINT64_MAX;
+  ServingPMA<Engine> s(cfg);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&]() {
+      uint64_t prev = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = s.snapshot();
+        uint64_t n = snap.size();
+        if (n < prev) {
+          failures.fetch_add(1);
+          break;
+        }
+        prev = n;
+        if (auto mn = snap.min()) {
+          if (!snap.has(*mn)) {
+            failures.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c]() {
+      for (uint64_t i = 0; i < kPerClient; ++i) {
+        s.insert(key_at(c * kPerClient + i));
+      }
+      if (c == 0) done.store(true, std::memory_order_release);
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  s.flush();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(s.snapshot().size(), uint64_t{kClients} * kPerClient);
+}
+
+}  // namespace

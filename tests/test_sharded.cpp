@@ -520,4 +520,37 @@ TYPED_TEST(Sharded, EmptyAndTiny) {
   ASSERT_TRUE(s.check_invariants(&err)) << err;
 }
 
+// min()/max() are optional so that {} and {0} are distinguishable (key 0 is
+// a real storable key); empty() must not pay the O(S) size() sum.
+TYPED_TEST(Sharded, EmptyMinMaxAreNulloptAndZeroKeyDisambiguated) {
+  using Engine = typename TypeParam::Engine;
+  ShardedPMA<Engine> s(test_settings(4));
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.min(), std::nullopt);
+  EXPECT_EQ(s.max(), std::nullopt);
+
+  // {0}: engaged optionals holding 0 — the case the old key_type API could
+  // not tell apart from empty.
+  EXPECT_TRUE(s.insert(0));
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.min(), std::optional<uint64_t>(0));
+  EXPECT_EQ(s.max(), std::optional<uint64_t>(0));
+
+  EXPECT_TRUE(s.remove(0));
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.min(), std::nullopt);
+  EXPECT_EQ(s.max(), std::nullopt);
+
+  // Engine-level semantics must agree (satellite: both engines aligned).
+  Engine e;
+  EXPECT_EQ(e.min(), std::nullopt);
+  EXPECT_EQ(e.max(), std::nullopt);
+  e.insert(0);
+  EXPECT_EQ(e.min(), std::optional<uint64_t>(0));
+  EXPECT_EQ(e.max(), std::optional<uint64_t>(0));
+  e.remove(0);
+  EXPECT_EQ(e.min(), std::nullopt);
+  EXPECT_EQ(e.max(), std::nullopt);
+}
+
 }  // namespace
