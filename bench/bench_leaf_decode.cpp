@@ -1,19 +1,25 @@
-// Leaf decode-throughput microbench: measures the DeltaStream kernel that
-// every CPMA scan/merge now routes through, at leaf granularity.
+// Leaf decode-throughput microbench: measures the decode kernels that every
+// CPMA scan/merge routes through, at leaf granularity, across the three leaf
+// codecs (byte-varint, group-varint, adaptive selection).
 //
 // Modes:
-//   scalar  one key per DeltaStream::next() call (the search loops)
-//   block   DeltaStream::next_block into a stack buffer (scans and merges;
-//           takes the word-at-a-time / SIMD fast path on 1-byte deltas)
-//   map     CompressedLeaf::map summing (what engine scans execute)
-//   count   element_count (count_remaining: popcount, no value decode)
+//   scalar  one key per cursor_next call (the search loops)
+//   block   block_next into a stack buffer (scans and merges; takes the
+//           word-at-a-time / SIMD fast path on 1-byte deltas, the group
+//           decode on group-varint, word popcount scans on bitmap leaves)
+//   map     Leaf::map summing (what engine scans execute)
+//   count   element_count (no value decode)
+//   legacy  byte-varint only: the seed implementation (memchr + scalar loop)
 //
-// Distributions sweep the delta width: dense (1-byte codes, the fast-path
-// sweet spot), uniform 40-bit (~3-byte codes) and sparse 60-bit (~7-byte
-// codes, scalar-dominated).
+// Distributions sweep the delta/density regime: dense (1-byte codes, the
+// byte-varint fast-path sweet spot), dense_runs (clustered consecutive runs
+// separated by large gaps — the regime bitmap selection must win), mixed
+// (half dense runs, half uniform 40-bit), uniform40 (~3-byte codes, where
+// group-varint must beat the scalar loop) and sparse60 (~7-byte codes).
 //
-// Output: one RESULT line per (dist, mode) — machine-parsed by
-// scripts/run_bench.py into BENCH_leaf_decode.json.
+// Output: one RESULT line per (codec, dist, mode) — machine-parsed by
+// scripts/run_bench.py into BENCH_leaf_decode.json; the codec= field keys
+// rows per codec in compare_bench.py.
 #include <algorithm>
 #include <cstring>
 #include <cstdint>
@@ -22,13 +28,16 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "codec/group_varint.hpp"
+#include "pma/leaf_adaptive.hpp"
 #include "pma/leaf_compressed.hpp"
 #include "pma/settings.hpp"
 
 namespace {
 
-using Leaf = cpma::pma::CompressedLeaf<>;
-using Stream = Leaf::Stream;
+using BvLeaf = cpma::pma::CompressedLeaf<>;
+using GvLeaf = cpma::pma::CompressedLeaf<cpma::codec::GroupVarintCodec>;
+using ALeaf = cpma::pma::AdaptiveLeaf;
 
 constexpr size_t kLeafBytes = 1024;
 
@@ -41,24 +50,39 @@ struct LeafSet {
   uint64_t encoded_bytes = 0;  // used bytes across leaves (heads included)
 };
 
-// Packs sorted unique keys into consecutive leaves at ~90% density.
+// Packs sorted unique keys into consecutive leaves at ~90% density, splitting
+// by each policy's own encoded cost (the adaptive policy packs by the size of
+// the format it will select — exactly what the engine's spread does).
+template <typename Leaf>
 LeafSet build_leaves(const std::vector<uint64_t>& keys) {
   LeafSet ls;
   const size_t budget = kLeafBytes - cpma::pma::kLeafSlack;
   size_t i = 0;
   while (i < keys.size()) {
-    size_t cost = Leaf::kHeadBytes;
-    size_t j = i + 1;
-    while (j < keys.size()) {
-      size_t c = Leaf::delta_bytes(keys[j - 1], keys[j]);
-      if (cost + c > budget) break;
-      cost += c;
+    size_t j = i;
+    if constexpr (requires { typename Leaf::StreamSizer; }) {
+      typename Leaf::StreamSizer s{};
+      while (j < keys.size()) {
+        typename Leaf::StreamSizer t = s;
+        t.add(keys[j]);
+        if (s.n > 0 && t.selected_bytes(kLeafBytes) > budget) break;
+        s = t;
+        ++j;
+      }
+    } else {
+      size_t cost = Leaf::kHeadBytes;
       ++j;
+      while (j < keys.size()) {
+        size_t c = Leaf::delta_bytes(keys[j - 1], keys[j]);
+        if (cost + c > budget) break;
+        cost += c;
+        ++j;
+      }
     }
     ls.data.resize(ls.data.size() + kLeafBytes);
-    Leaf::write(ls.data.data() + ls.num_leaves * kLeafBytes, kLeafBytes,
-                keys.data() + i, j - i);
-    ls.encoded_bytes += cost;
+    uint8_t* lp = ls.data.data() + ls.num_leaves * kLeafBytes;
+    Leaf::write(lp, kLeafBytes, keys.data() + i, j - i);
+    ls.encoded_bytes += Leaf::used_bytes(lp, kLeafBytes);
     ++ls.num_leaves;
     ls.num_keys += j - i;
     i = j;
@@ -69,13 +93,29 @@ LeafSet build_leaves(const std::vector<uint64_t>& keys) {
 std::vector<uint64_t> make_dist(const std::string& dist, uint64_t n,
                                 uint64_t seed) {
   std::vector<uint64_t> keys;
+  cpma::util::Rng r(seed);
   if (dist == "dense") {
     keys.resize(n);
     for (uint64_t i = 0; i < n; ++i) keys[i] = 1 + 2 * i;  // delta 2: 1 byte
     return keys;
   }
+  if (dist == "dense_runs" || dist == "mixed") {
+    // Clustered consecutive runs at random 40-bit bases; `mixed` interleaves
+    // the runs with an equal volume of uniform 40-bit keys.
+    keys.reserve(n);
+    while (keys.size() < (dist == "mixed" ? n / 2 : n)) {
+      uint64_t base = 1 + (r.next() >> 24);
+      uint64_t len = 128 + r.next() % 384;
+      for (uint64_t i = 0; i < len; ++i) keys.push_back(base + i);
+    }
+    if (dist == "mixed") {
+      while (keys.size() < n) keys.push_back(1 + (r.next() >> 24));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    return keys;
+  }
   unsigned bits = dist == "uniform40" ? 40 : 60;
-  cpma::util::Rng r(seed);
   keys.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {
     keys.push_back(1 + (r.next() >> (64 - bits)));
@@ -99,8 +139,9 @@ double throughput_keys_per_s(const LeafSet& ls, F&& per_leaf) {
   return static_cast<double>(ls.num_keys) / secs;
 }
 
-void report(const LeafSet& ls, const std::string& dist,
-            const std::string& mode, double keys_per_s) {
+void report(const LeafSet& ls, const std::string& codec,
+            const std::string& dist, const std::string& mode,
+            double keys_per_s) {
   double bytes_per_key = static_cast<double>(ls.encoded_bytes) /
                          static_cast<double>(ls.num_keys);
   double mb_per_s = keys_per_s * bytes_per_key / 1e6;
@@ -113,54 +154,63 @@ void report(const LeafSet& ls, const std::string& dist,
       "word";
 #endif
   std::printf(
-      "RESULT bench=leaf_decode dist=%s mode=%s simd=%s keys=%llu "
+      "RESULT bench=leaf_decode codec=%s dist=%s mode=%s simd=%s keys=%llu "
       "bytes_per_key=%.2f keys_per_s=%.3e mb_per_s=%.1f\n",
-      dist.c_str(), mode.c_str(), simd, (unsigned long long)ls.num_keys,
-      bytes_per_key, keys_per_s, mb_per_s);
+      codec.c_str(), dist.c_str(), mode.c_str(), simd,
+      (unsigned long long)ls.num_keys, bytes_per_key, keys_per_s, mb_per_s);
 }
 
-void run_dist(const std::string& dist) {
-  auto keys = make_dist(dist, bench::base_n(), 42);
-  LeafSet ls = build_leaves(keys);
+template <typename Leaf>
+void run_codec(const std::string& codec, const std::string& dist,
+               const std::vector<uint64_t>& keys) {
+  LeafSet ls = build_leaves<Leaf>(keys);
 
-  // The seed implementation each op used to carry: memchr for the stream
-  // end, then a scalar varint loop bounded by it.
-  report(ls, dist, "legacy", throughput_keys_per_s(ls, [](const uint8_t* lp) {
-           uint64_t acc = Leaf::head(lp);
-           if (acc == 0) return acc;
-           const void* z =
-               std::memchr(lp + Leaf::kHeadBytes, 0,
-                           kLeafBytes - Leaf::kHeadBytes);
-           size_t end = z == nullptr
-                            ? kLeafBytes
-                            : static_cast<size_t>(
-                                  static_cast<const uint8_t*>(z) - lp);
-           uint64_t cur = acc;
-           size_t pos = Leaf::kHeadBytes;
-           while (pos < end) {
-             uint64_t delta;
-             pos += cpma::codec::varint_decode(lp + pos, &delta);
-             cur += delta;
-             acc += cur;
-           }
+  if constexpr (std::is_same_v<Leaf, BvLeaf>) {
+    // The seed implementation each op used to carry: memchr for the stream
+    // end, then a scalar varint loop bounded by it.
+    report(ls, codec, dist, "legacy",
+           throughput_keys_per_s(ls, [](const uint8_t* lp) {
+             uint64_t acc = Leaf::head(lp);
+             if (acc == 0) return acc;
+             const void* z = std::memchr(lp + Leaf::kHeadBytes, 0,
+                                         kLeafBytes - Leaf::kHeadBytes);
+             size_t end = z == nullptr
+                              ? kLeafBytes
+                              : static_cast<size_t>(
+                                    static_cast<const uint8_t*>(z) - lp);
+             uint64_t cur = acc;
+             size_t pos = Leaf::kHeadBytes;
+             while (pos < end) {
+               uint64_t delta;
+               pos += cpma::codec::varint_decode(lp + pos, &delta);
+               cur += delta;
+               acc += cur;
+             }
+             return acc;
+           }));
+  }
+  report(ls, codec, dist, "scalar",
+         throughput_keys_per_s(ls, [](const uint8_t* lp) {
+           typename Leaf::Cursor c{};
+           if (!Leaf::cursor_begin(lp, kLeafBytes, c)) return uint64_t{0};
+           uint64_t acc = c.value;
+           while (Leaf::cursor_next(lp, kLeafBytes, c)) acc += c.value;
            return acc;
          }));
-  report(ls, dist, "scalar", throughput_keys_per_s(ls, [](const uint8_t* lp) {
-           uint64_t acc = Leaf::head(lp);
-           Stream s = Leaf::stream(lp, kLeafBytes);
-           while (s.next()) acc += s.value();
-           return acc;
-         }));
-  report(ls, dist, "block", throughput_keys_per_s(ls, [](const uint8_t* lp) {
-           uint64_t acc = Leaf::head(lp);
-           Stream s = Leaf::stream(lp, kLeafBytes);
-           uint64_t buf[Stream::kBlockKeys];
-           while (size_t k = s.next_block(buf, Stream::kBlockKeys)) {
+  report(ls, codec, dist, "block",
+         throughput_keys_per_s(ls, [](const uint8_t* lp) {
+           uint64_t acc = 0;
+           typename Leaf::BlockCursor bc{};
+           uint64_t buf[Leaf::kBlockKeys];
+           while (size_t k =
+                      Leaf::block_next(lp, kLeafBytes, bc, buf,
+                                       Leaf::kBlockKeys)) {
              for (size_t i = 0; i < k; ++i) acc += buf[i];
            }
            return acc;
          }));
-  report(ls, dist, "map", throughput_keys_per_s(ls, [](const uint8_t* lp) {
+  report(ls, codec, dist, "map",
+         throughput_keys_per_s(ls, [](const uint8_t* lp) {
            uint64_t acc = 0;
            Leaf::map(lp, kLeafBytes, [&](uint64_t k) {
              acc += k;
@@ -168,16 +218,25 @@ void run_dist(const std::string& dist) {
            });
            return acc;
          }));
-  report(ls, dist, "count", throughput_keys_per_s(ls, [](const uint8_t* lp) {
+  report(ls, codec, dist, "count",
+         throughput_keys_per_s(ls, [](const uint8_t* lp) {
            return Leaf::element_count(lp, kLeafBytes);
          }));
+}
+
+void run_dist(const std::string& dist) {
+  auto keys = make_dist(dist, bench::base_n(), 42);
+  run_codec<BvLeaf>("bv", dist, keys);
+  run_codec<GvLeaf>("gv", dist, keys);
+  run_codec<ALeaf>("adaptive", dist, keys);
 }
 
 }  // namespace
 
 int main() {
   bench::print_config_line("leaf decode kernel throughput");
-  for (const char* dist : {"dense", "uniform40", "sparse60"}) {
+  for (const char* dist :
+       {"dense", "dense_runs", "mixed", "uniform40", "sparse60"}) {
     run_dist(dist);
   }
   return 0;

@@ -57,6 +57,21 @@ def latency_fields(record):
     }
 
 
+def space_fields(record):
+    """Space rows (bench_table6_space): bytes_per_key, lower is better.
+
+    Only consulted when a record carries no throughput or latency field, so
+    decode-bench rows (which report bytes_per_key as a descriptive field
+    next to keys_per_s) keep comparing on throughput alone."""
+    if throughput_fields(record) or latency_fields(record):
+        return {}
+    return {
+        k: v
+        for k, v in record.items()
+        if k == "bytes_per_key" and isinstance(v, (int, float)) and v > 0
+    }
+
+
 def compare(old, new, tolerance):
     """Yields (tag, record_id, field, new_value, old_value, ratio) rows;
     ratio/old_value are None for records absent from the snapshot. Ratios
@@ -77,6 +92,13 @@ def compare(old, new, tolerance):
             tag = "OK" if ratio >= tolerance else "REGR"
             yield (tag, rid, field, value, base_value, ratio)
         for field, value in latency_fields(record).items():
+            base_value = base.get(field)
+            if not isinstance(base_value, (int, float)) or base_value <= 0:
+                continue
+            ratio = base_value / value
+            tag = "OK" if ratio >= tolerance else "REGR"
+            yield (tag, rid, field, value, base_value, ratio)
+        for field, value in space_fields(record).items():
             base_value = base.get(field)
             if not isinstance(base_value, (int, float)) or base_value <= 0:
                 continue

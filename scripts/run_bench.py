@@ -85,6 +85,10 @@ def primary_throughput(record):
     ]
     if latencies:
         return -min(latencies)
+    # Space-only rows (bench_table6_space): smaller footprint wins.
+    bpk = record.get("bytes_per_key")
+    if isinstance(bpk, (int, float)) and bpk > 0:
+        return -bpk
     return 0.0
 
 

@@ -1,0 +1,238 @@
+// Group-varint ("stream-vbyte"-flavored) delta codec.
+//
+// Byte varints pay one data-dependent branch per BYTE: every byte's continue
+// bit must be inspected before the next byte's meaning is known. This codec
+// moves all of the length information into a control byte so the payload
+// decodes with one load + shift + mask, no per-byte loop:
+//
+//   b0 = 1 t t v v v v v      control: marker bit, 2-bit width tag, low 5
+//   payload                   (v >> 5) little-endian in 1/2/4/8 bytes
+//
+// The width tag selects the payload width from {1, 2, 4, 8} — the classic
+// group-varint width ladder — and the control byte carries the value's low
+// five bits so small deltas still fit two bytes. The marker bit keeps every
+// control byte nonzero, so a 0x00 byte AT A CODE BOUNDARY is the leaf's
+// end-of-stream terminator exactly as with byte varints. Unlike byte
+// varints, payload bytes MAY be zero (kZeroFree = false below): the leaf's
+// used-bytes scan must hop code to code instead of memchr'ing
+// (pma/leaf_compressed.hpp keys off the trait).
+//
+// Sizes: 2 bytes for deltas < 2^13, 3 to < 2^21, 5 to < 2^37, 9 beyond.
+// On multi-byte-delta leaves (uniform 40-bit keys) codes match byte-varint
+// sizes within a byte while the block decoder runs four codes per iteration
+// with unconditional 8-byte masked loads — the regime where the byte-varint
+// block path only ties its own scalar loop.
+//
+// Bulk hooks mirror ByteVarintCodec's (decode_block / count_run /
+// sum_run_to); the AVX2 variant (gated like the byte-varint one on
+// CPMA_SIMD && __AVX2__) decodes quads of homogeneous 3-byte codes — the
+// uniform-40-bit steady state — with one shuffle + prefix sum.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "codec/delta_stream.hpp"
+
+namespace cpma::codec {
+
+namespace gv_detail {
+// Payload width / total code length / payload mask, indexed by the tag.
+constexpr size_t kPayload[4] = {1, 2, 4, 8};
+constexpr size_t kLen[4] = {2, 3, 5, 9};
+constexpr uint64_t kMask[4] = {0xffull, 0xffffull, 0xffffffffull,
+                               ~uint64_t{0}};
+
+#if CPMA_SIMD_AVX2
+// Decodes four consecutive 3-byte codes (all tag == 1) at p on top of
+// `base`: one 16-byte load, shuffle the 16-bit payloads and control bytes
+// into 32-bit lanes, combine, 32-bit prefix sum (max 4 * (2^21 - 1) fits),
+// widen to 64-bit, add the base. Caller guarantees 16 readable bytes at p.
+inline uint64_t decode4_gv3_avx2(const uint8_t* p, uint64_t base,
+                                 uint64_t* out) {
+  const __m128i raw =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  const __m128i shuf_pay = _mm_setr_epi8(1, 2, -1, -1, 4, 5, -1, -1, 7, 8,
+                                         -1, -1, 10, 11, -1, -1);
+  const __m128i shuf_ctl = _mm_setr_epi8(0, -1, -1, -1, 3, -1, -1, -1, 6,
+                                         -1, -1, -1, 9, -1, -1, -1);
+  __m128i pay = _mm_shuffle_epi8(raw, shuf_pay);
+  __m128i ctl = _mm_and_si128(_mm_shuffle_epi8(raw, shuf_ctl),
+                              _mm_set1_epi32(31));
+  __m128i v = _mm_or_si128(_mm_slli_epi32(pay, 5), ctl);
+  v = _mm_add_epi32(v, _mm_slli_si128(v, 4));
+  v = _mm_add_epi32(v, _mm_slli_si128(v, 8));
+  __m256i sums = _mm256_add_epi64(
+      _mm256_cvtepu32_epi64(v),
+      _mm256_set1_epi64x(static_cast<long long>(base)));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), sums);
+  return base + static_cast<uint64_t>(
+                    static_cast<uint32_t>(_mm_extract_epi32(v, 3)));
+}
+#endif
+}  // namespace gv_detail
+
+struct GroupVarintCodec {
+  static constexpr const char* name = "group-varint";
+  static constexpr size_t kMaxBytes = 9;
+  // Payload bytes may be 0x00: terminators are only valid at code
+  // boundaries, and the leaf must hop codes to find its used bytes.
+  static constexpr bool kZeroFree = false;
+
+  static constexpr size_t size(uint64_t v) {
+    uint64_t hi = v >> 5;
+    if (hi < (uint64_t{1} << 8)) return 2;
+    if (hi < (uint64_t{1} << 16)) return 3;
+    if (hi < (uint64_t{1} << 32)) return 5;
+    return 9;
+  }
+
+  static size_t encode(uint64_t v, uint8_t* dst) {
+    const uint64_t hi = v >> 5;
+    const uint8_t lo = static_cast<uint8_t>(v & 31);
+    if (hi < (uint64_t{1} << 8)) {
+      dst[0] = static_cast<uint8_t>(0x80 | lo);
+      dst[1] = static_cast<uint8_t>(hi);
+      return 2;
+    }
+    if (hi < (uint64_t{1} << 16)) {
+      dst[0] = static_cast<uint8_t>(0xA0 | lo);
+      uint16_t x = static_cast<uint16_t>(hi);
+      std::memcpy(dst + 1, &x, 2);
+      return 3;
+    }
+    if (hi < (uint64_t{1} << 32)) {
+      dst[0] = static_cast<uint8_t>(0xC0 | lo);
+      uint32_t x = static_cast<uint32_t>(hi);
+      std::memcpy(dst + 1, &x, 4);
+      return 5;
+    }
+    dst[0] = static_cast<uint8_t>(0xE0 | lo);
+    std::memcpy(dst + 1, &hi, 8);
+    return 9;
+  }
+
+  // Exact-width loads: a code near the end of a leaf must not read past its
+  // own payload (the block paths use masked 8-byte loads only when the
+  // buffer provably extends).
+  static size_t decode(const uint8_t* src, uint64_t* out) {
+    const uint8_t b0 = src[0];
+    const unsigned tag = (b0 >> 5) & 3;
+    uint64_t hi;
+    switch (tag) {
+      case 0:
+        hi = src[1];
+        break;
+      case 1: {
+        uint16_t x;
+        std::memcpy(&x, src + 1, 2);
+        hi = x;
+        break;
+      }
+      case 2: {
+        uint32_t x;
+        std::memcpy(&x, src + 1, 4);
+        hi = x;
+        break;
+      }
+      default:
+        std::memcpy(&hi, src + 1, 8);
+        break;
+    }
+    *out = (hi << 5) | (b0 & 31);
+    return gv_detail::kLen[tag];
+  }
+
+  static size_t skip(const uint8_t* src) {
+    return gv_detail::kLen[(src[0] >> 5) & 3];
+  }
+
+  // Bulk decode: four codes per iteration, each one unconditional 8-byte
+  // load masked by the control byte's width — no per-byte continue-bit
+  // chain. The quad loop needs 8 readable bytes past each control byte, so
+  // it runs while a worst-case quad plus the trailing load slack fits;
+  // the exact-width scalar loop finishes the tail.
+  static size_t decode_block(const uint8_t* src, size_t avail, uint64_t base,
+                             uint64_t* out, size_t max, size_t* consumed) {
+    size_t n = 0;
+    size_t pos = 0;
+    while (n + 4 <= max && pos + 4 * kMaxBytes <= avail) {
+#if CPMA_SIMD_AVX2
+      // Homogeneous 3-byte quad (the uniform-40-bit steady state): one
+      // vector decode. 16 bytes are readable: 4 * 9 > 12 + 4 slack.
+      if (((src[pos] & src[pos + 3] & src[pos + 6] & src[pos + 9]) & 0x80) &&
+          (src[pos] & 0x60) == 0x20 && (src[pos + 3] & 0x60) == 0x20 &&
+          (src[pos + 6] & 0x60) == 0x20 && (src[pos + 9] & 0x60) == 0x20) {
+        base = gv_detail::decode4_gv3_avx2(src + pos, base, out + n);
+        n += 4;
+        pos += 12;
+        continue;
+      }
+#endif
+      bool terminated = false;
+      for (int i = 0; i < 4; ++i) {
+        const uint8_t b0 = src[pos];
+        if (b0 == 0) {
+          terminated = true;
+          break;
+        }
+        const unsigned tag = (b0 >> 5) & 3;
+        uint64_t w;
+        std::memcpy(&w, src + pos + 1, 8);
+        base += ((w & gv_detail::kMask[tag]) << 5) | (b0 & 31);
+        out[n++] = base;
+        pos += gv_detail::kLen[tag];
+      }
+      if (terminated) break;
+    }
+    while (n < max && pos < avail && src[pos] != 0) {
+      uint64_t d;
+      pos += decode(src + pos, &d);
+      base += d;
+      out[n++] = base;
+    }
+    *consumed = pos;
+    return n;
+  }
+
+  // Counts codes up to the terminator: pure control-byte hopping, one load
+  // + table lookup + add per value.
+  static size_t count_run(const uint8_t* src, size_t avail, size_t* consumed) {
+    size_t n = 0;
+    size_t pos = 0;
+    while (pos < avail && src[pos] != 0) {
+      pos += gv_detail::kLen[(src[pos] >> 5) & 3];
+      ++n;
+    }
+    *consumed = pos;
+    return n;
+  }
+
+  // Sums whole codes while they START before `limit` (same contract as the
+  // byte-varint hook): masked 8-byte loads while the buffer provably
+  // extends, exact-width decodes for the tail.
+  static uint64_t sum_run_to(const uint8_t* src, size_t avail, size_t limit,
+                             size_t* consumed) {
+    if (limit > avail) limit = avail;
+    uint64_t sum = 0;
+    size_t pos = 0;
+    while (pos < limit && pos + kMaxBytes <= avail) {
+      const uint8_t b0 = src[pos];
+      if (b0 == 0) break;
+      const unsigned tag = (b0 >> 5) & 3;
+      uint64_t w;
+      std::memcpy(&w, src + pos + 1, 8);
+      sum += ((w & gv_detail::kMask[tag]) << 5) | (b0 & 31);
+      pos += gv_detail::kLen[tag];
+    }
+    while (pos < limit && src[pos] != 0) {
+      uint64_t d;
+      pos += decode(src + pos, &d);
+      sum += d;
+    }
+    *consumed = pos;
+    return sum;
+  }
+};
+
+}  // namespace cpma::codec

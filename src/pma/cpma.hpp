@@ -8,6 +8,7 @@
 // in the paper's artifact appendix.
 #pragma once
 
+#include "pma/leaf_adaptive.hpp"
 #include "pma/leaf_compressed.hpp"
 #include "pma/leaf_uncompressed.hpp"
 #include "pma/pma.hpp"
@@ -20,6 +21,9 @@ using PMA = pma::PackedMemoryArray<pma::UncompressedLeaf>;
 // Default codec (byte varints); swap the codec by instantiating
 // pma::PackedMemoryArray<pma::CompressedLeaf<YourCodec>> directly.
 using CPMA = pma::PackedMemoryArray<pma::CompressedLeaf<>>;
+// Adaptive per-leaf codec selection (byte-varint / group-varint / bitmap,
+// chosen per leaf at materialization time; see pma/leaf_adaptive.hpp).
+using ACPMA = pma::PackedMemoryArray<pma::AdaptiveLeaf>;
 
 // Keyspace-sharded compositions: S independent engines behind the same set
 // API (see pma/sharded.hpp for the router/rebalancer design).

@@ -30,14 +30,19 @@
 
 namespace cpma::pma {
 
-template <typename Codec = codec::ByteVarintCodec>
+// HeadBytes is the content-coordinate cost of a leaf's first key: the 8-byte
+// uncompressed head plus any per-leaf header bytes between the head and the
+// first delta code (the adaptive leaf reserves one for its format tag; this
+// policy leaves the extra bytes untouched, so a wrapper may claim them).
+template <typename Codec = codec::ByteVarintCodec, size_t HeadBytes = 8>
 struct CompressedLeaf {
   using key_type = uint64_t;
   using codec_type = Codec;
   using Stream = codec::DeltaStream<Codec>;
   static constexpr const char* name = "cpma";
   static constexpr bool compressed = true;
-  static constexpr size_t kHeadBytes = 8;
+  static constexpr size_t kHeadBytes = HeadBytes;
+  static_assert(HeadBytes >= 8, "head stores an uncompressed 8-byte key");
   static constexpr size_t kBlockKeys = Stream::kBlockKeys;
   // Worst-case byte growth of one insert(): a delta split into two maximal
   // codes (2*kMaxBytes - 1) dominates head displacement (8 + kMaxBytes).
@@ -63,12 +68,21 @@ struct CompressedLeaf {
   // One past the last used byte (head included); 0 for an empty leaf. The
   // only end-of-stream rescan left in the leaf: queries stop at the
   // terminator inline, so only mutations (which memmove the tail) call it.
+  // Zero-free codecs memchr for the terminator; codecs whose payload bytes
+  // may be 0x00 hop code to code instead (terminators are only meaningful
+  // at code boundaries).
   static size_t used_bytes(const uint8_t* leaf, size_t cap) {
     if (head(leaf) == 0) return 0;
-    const void* z = std::memchr(leaf + kHeadBytes, 0, cap - kHeadBytes);
-    return z == nullptr ? cap
-                        : static_cast<size_t>(static_cast<const uint8_t*>(z) -
-                                              leaf);
+    if constexpr (codec::kCodecZeroFree<Codec>) {
+      const void* z = std::memchr(leaf + kHeadBytes, 0, cap - kHeadBytes);
+      return z == nullptr
+                 ? cap
+                 : static_cast<size_t>(static_cast<const uint8_t*>(z) - leaf);
+    } else {
+      size_t pos = kHeadBytes;
+      while (pos < cap && leaf[pos] != 0) pos += Codec::skip(leaf + pos);
+      return pos;
+    }
   }
 
   static uint64_t element_count(const uint8_t* leaf, size_t cap) {

@@ -19,6 +19,8 @@ struct UncompressedLeaf {
   using key_type = uint64_t;
   static constexpr const char* name = "pma";
   static constexpr bool compressed = false;
+  // Content-coordinate cost of a leaf's first key (one cell).
+  static constexpr size_t kHeadBytes = 8;
   // Worst-case byte growth of one insert(): one new cell.
   static constexpr size_t kMaxInsertGrowth = 8;
 

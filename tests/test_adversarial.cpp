@@ -13,6 +13,7 @@
 #include "pma/cpma.hpp"
 #include "util/random.hpp"
 
+using cpma::ACPMA;
 using cpma::CPMA;
 using cpma::PMA;
 using cpma::util::Rng;
@@ -26,7 +27,7 @@ void expect_ok(const T& p) {
 template <typename T>
 class AdversarialTest : public ::testing::Test {};
 
-using Engines = ::testing::Types<PMA, CPMA>;
+using Engines = ::testing::Types<PMA, CPMA, ACPMA>;
 TYPED_TEST_SUITE(AdversarialTest, Engines);
 
 TYPED_TEST(AdversarialTest, AscendingPointInserts) {
@@ -137,6 +138,43 @@ TYPED_TEST(AdversarialTest, RepeatedIdenticalBatches) {
   }
   EXPECT_EQ(p.size(), first);
   expect_ok(p);
+}
+
+TYPED_TEST(AdversarialTest, DenseRunsWithSparseGaps) {
+  // Alternating fully-dense runs (consecutive keys — worst case for delta
+  // chains, best case for bitmap leaves) and huge gaps (10-byte varints).
+  // Stresses the adaptive engine's format selection at both extremes and
+  // the boundaries where a leaf straddles a run edge; interleaved point
+  // deletes then punch holes into the dense regions.
+  TypeParam p;
+  std::set<uint64_t> ref;
+  Rng r(17);
+  std::vector<uint64_t> batch;
+  for (int run = 0; run < 200; ++run) {
+    uint64_t base = 1 + (r.next() % (1ull << 50));
+    uint64_t len = 200 + r.next() % 800;
+    for (uint64_t i = 0; i < len; ++i) batch.push_back(base + i);
+  }
+  for (uint64_t k : batch) ref.insert(k);
+  p.insert_batch(std::vector<uint64_t>(batch));
+  ASSERT_EQ(p.size(), ref.size());
+  expect_ok(p);
+  // Punch random holes, then re-fill some of them point-wise.
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = batch[r.next() % batch.size()];
+    if (r.next() % 3 == 0) {
+      bool expect = ref.insert(k).second;
+      ASSERT_EQ(p.insert(k), expect);
+    } else {
+      bool expect = ref.erase(k) == 1;
+      ASSERT_EQ(p.remove(k), expect);
+    }
+  }
+  ASSERT_EQ(p.size(), ref.size());
+  expect_ok(p);
+  std::vector<uint64_t> got;
+  p.map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, std::vector<uint64_t>(ref.begin(), ref.end()));
 }
 
 TYPED_TEST(AdversarialTest, DeleteEverythingThenReuse) {

@@ -9,6 +9,7 @@
 
 #include "codec/delta.hpp"
 #include "codec/delta_stream.hpp"
+#include "codec/group_varint.hpp"
 #include "codec/varint.hpp"
 #include "util/random.hpp"
 
@@ -174,19 +175,35 @@ std::vector<uint8_t> encode_body(const std::vector<uint64_t>& keys,
   return body;
 }
 
+// Same, but in an arbitrary codec's code format (the typed DeltaStream tests
+// must feed each codec its own encoding).
+template <typename Codec>
+std::vector<uint8_t> encode_body_as(const std::vector<uint64_t>& keys,
+                                    size_t tail) {
+  std::vector<uint8_t> body;
+  uint8_t tmp[Codec::kMaxBytes];
+  for (size_t i = 1; i < keys.size(); ++i) {
+    size_t n = Codec::encode(keys[i] - keys[i - 1], tmp);
+    body.insert(body.end(), tmp, tmp + n);
+  }
+  body.insert(body.end(), tail, 0);
+  return body;
+}
+
 }  // namespace
 
 template <typename Codec>
 class DeltaStreamTest : public ::testing::Test {};
 
-using StreamCodecs = ::testing::Types<codec::ByteVarintCodec, ScalarOnlyCodec>;
+using StreamCodecs = ::testing::Types<codec::ByteVarintCodec, ScalarOnlyCodec,
+                                      codec::GroupVarintCodec>;
 TYPED_TEST_SUITE(DeltaStreamTest, StreamCodecs);
 
 TYPED_TEST(DeltaStreamTest, ScalarNextMatchesKeys) {
   Rng r(21);
   for (unsigned bias : {0u, 4u, 1u}) {
     auto keys = make_keys(r, 500, bias);
-    auto body = encode_body(keys, 3);
+    auto body = encode_body_as<TypeParam>(keys, 3);
     codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
     size_t i = 1;
     while (s.next()) {
@@ -203,7 +220,7 @@ TYPED_TEST(DeltaStreamTest, BlockDecodeMatchesScalarAtEveryBlockSize) {
   Rng r(22);
   for (unsigned bias : {0u, 4u}) {
     auto keys = make_keys(r, 700, bias);
-    auto body = encode_body(keys, 2);
+    auto body = encode_body_as<TypeParam>(keys, 2);
     for (size_t block : {1, 3, 8, 17, 64, 1000}) {
       codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
       std::vector<uint64_t> out{keys[0]};
@@ -220,7 +237,8 @@ TYPED_TEST(DeltaStreamTest, BlockDecodeMatchesScalarAtEveryBlockSize) {
 TYPED_TEST(DeltaStreamTest, StreamFillingCapExactlyTerminatesAtCap) {
   Rng r(23);
   auto keys = make_keys(r, 64, 0);
-  auto body = encode_body(keys, 0);  // no terminator byte: cap is the end
+  auto body =
+      encode_body_as<TypeParam>(keys, 0);  // no terminator byte: cap is end
   codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
   uint64_t buf[16];
   std::vector<uint64_t> out{keys[0]};
@@ -235,7 +253,7 @@ TYPED_TEST(DeltaStreamTest, CountRemainingMatchesAndConsumes) {
   for (unsigned bias : {0u, 3u}) {
     for (size_t n : {2, 9, 100, 513}) {
       auto keys = make_keys(r, n, bias);
-      auto body = encode_body(keys, 5);
+      auto body = encode_body_as<TypeParam>(keys, 5);
       codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
       EXPECT_EQ(s.count_remaining(), n - 1);
       EXPECT_TRUE(s.done());
@@ -245,6 +263,30 @@ TYPED_TEST(DeltaStreamTest, CountRemainingMatchesAndConsumes) {
       ASSERT_TRUE(s2.next());
       EXPECT_EQ(s2.count_remaining(), n - 2);
     }
+  }
+}
+
+TYPED_TEST(DeltaStreamTest, SeekAndDrainMatchScalarWalk) {
+  // seek() consumes whole codes starting before the target (sum_run_to when
+  // the codec has it); value()/pos() afterwards must agree with a scalar
+  // walk stopped at the same boundary.
+  Rng r(27);
+  for (unsigned bias : {0u, 4u, 1u}) {
+    auto keys = make_keys(r, 400, bias);
+    auto body = encode_body_as<TypeParam>(keys, 3);
+    for (size_t target = 0; target <= body.size(); target += 7) {
+      codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
+      s.seek(target);
+      codec::DeltaStream<TypeParam> ref(body.data(), body.size(), keys[0]);
+      while (ref.pos() < target && ref.next()) {
+      }
+      EXPECT_EQ(s.pos(), ref.pos()) << "target=" << target;
+      EXPECT_EQ(s.value(), ref.value()) << "target=" << target;
+    }
+    codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
+    s.drain();
+    EXPECT_EQ(s.value(), keys.back());
+    EXPECT_TRUE(s.done());
   }
 }
 
@@ -265,7 +307,7 @@ TYPED_TEST(DeltaStreamTest, BlockDecodeMatchesScalarOnMultiByteHeavyStreams) {
   // the result must be byte-identical to the scalar next() walk.
   Rng r(29);
   auto keys = make_keys(r, 600, 1);
-  auto body = encode_body(keys, 3);
+  auto body = encode_body_as<TypeParam>(keys, 3);
   for (size_t block : {1, 5, 64, 1000}) {
     codec::DeltaStream<TypeParam> s(body.data(), body.size(), keys[0]);
     std::vector<uint64_t> out{keys[0]};
@@ -299,6 +341,63 @@ TEST(DeltaStream, ProbeSwitchesBetweenScalarAndBlockPathsMidStream) {
     }
     EXPECT_EQ(out, keys) << "block=" << block;
   }
+}
+
+// ---------------------------------------------------------------------------
+// GroupVarintCodec: control-byte layout specifics the typed suite above
+// can't see from the outside.
+// ---------------------------------------------------------------------------
+
+TEST(GroupVarint, SizeSteps) {
+  using GV = codec::GroupVarintCodec;
+  // 5 low bits ride in the control byte, payload widths step at 1/2/4/8
+  // bytes: totals 2/3/5/9 with breaks at 2^13 / 2^21 / 2^37.
+  EXPECT_EQ(GV::size(1), 2u);
+  EXPECT_EQ(GV::size((uint64_t{1} << 13) - 1), 2u);
+  EXPECT_EQ(GV::size(uint64_t{1} << 13), 3u);
+  EXPECT_EQ(GV::size((uint64_t{1} << 21) - 1), 3u);
+  EXPECT_EQ(GV::size(uint64_t{1} << 21), 5u);
+  EXPECT_EQ(GV::size((uint64_t{1} << 37) - 1), 5u);
+  EXPECT_EQ(GV::size(uint64_t{1} << 37), 9u);
+  EXPECT_EQ(GV::size(~uint64_t{0}), 9u);
+}
+
+TEST(GroupVarint, RandomRoundtripAndNonzeroControlByte) {
+  using GV = codec::GroupVarintCodec;
+  static_assert(!codec::kCodecZeroFree<GV>);
+  static_assert(codec::kCodecZeroFree<codec::ByteVarintCodec>);
+  static_assert(codec::kCodecZeroFree<ScalarOnlyCodec>);  // default when absent
+  Rng r(31);
+  for (int i = 0; i < 50000; ++i) {
+    uint64_t v = (r.next() >> (r.next() % 64)) | 1;
+    uint8_t buf[GV::kMaxBytes];
+    size_t n = GV::encode(v, buf);
+    EXPECT_EQ(n, GV::size(v));
+    // The marker bit keeps every control byte nonzero — the code-boundary
+    // terminator contract (payload bytes MAY be zero).
+    EXPECT_GE(buf[0], 0x80) << "v=" << v;
+    uint64_t out;
+    EXPECT_EQ(GV::decode(buf, &out), n);
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(GV::skip(buf), n);
+  }
+}
+
+TEST(GroupVarint, BlockDecodeStopsAtZeroPayloadBoundary) {
+  // Deltas < 32 encode a 0x00 PAYLOAD byte; the stream must not mistake it
+  // for the terminator (zero checks happen only at code starts).
+  using GV = codec::GroupVarintCodec;
+  std::vector<uint64_t> keys;
+  uint64_t cur = 100;
+  keys.push_back(cur);
+  for (int i = 0; i < 300; ++i) keys.push_back(cur += 1 + i % 31);
+  auto body = encode_body_as<GV>(keys, 4);
+  codec::DeltaStream<GV> s(body.data(), body.size(), keys[0]);
+  std::vector<uint64_t> out{keys[0]};
+  uint64_t buf[64];
+  while (size_t k = s.next_block(buf, 64)) out.insert(out.end(), buf, buf + k);
+  EXPECT_EQ(out, keys);
+  EXPECT_TRUE(s.done());
 }
 
 TEST(DeltaStream, WordFastPathCrossesMultiByteBoundaries) {

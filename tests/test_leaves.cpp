@@ -8,6 +8,8 @@
 #include <set>
 #include <vector>
 
+#include "codec/group_varint.hpp"
+#include "pma/leaf_adaptive.hpp"
 #include "pma/leaf_compressed.hpp"
 #include "pma/leaf_uncompressed.hpp"
 #include "util/random.hpp"
@@ -37,7 +39,10 @@ class LeafTest : public ::testing::Test {
   }
 };
 
-using Policies = ::testing::Types<pma::UncompressedLeaf, pma::CompressedLeaf<>>;
+using Policies =
+    ::testing::Types<pma::UncompressedLeaf, pma::CompressedLeaf<>,
+                     pma::CompressedLeaf<cpma::codec::GroupVarintCodec, 9>,
+                     pma::AdaptiveLeaf>;
 TYPED_TEST_SUITE(LeafTest, Policies);
 
 TYPED_TEST(LeafTest, EmptyLeaf) {
@@ -447,7 +452,7 @@ TYPED_TEST(LeafTest, SpreadSeekerSplitsAndStitchesRoundTrip) {
       std::vector<uint8_t> dst(this->kCap, 0);
       typename TypeParam::SpreadWriter w;
       TypeParam::spread_begin(w, dst.data(), this->kCap, keys[0]);
-      size_t from = 8;  // just past the head's footprint for both policies
+      size_t from = TypeParam::kHeadBytes;  // just past the head's footprint
       for (const auto& sp : splits) {
         TypeParam::spread_copy_tail(w, this->leaf(), from, sp.off);
         TypeParam::spread_finish(w);

@@ -12,6 +12,7 @@
 #include "util/random.hpp"
 #include "util/zipf.hpp"
 
+using cpma::ACPMA;
 using cpma::CPMA;
 using cpma::PMA;
 using cpma::util::Rng;
@@ -19,7 +20,7 @@ using cpma::util::Rng;
 template <typename T>
 class PmaBatchTest : public ::testing::Test {};
 
-using Engines = ::testing::Types<PMA, CPMA>;
+using Engines = ::testing::Types<PMA, CPMA, ACPMA>;
 TYPED_TEST_SUITE(PmaBatchTest, Engines);
 
 template <typename T>

@@ -9,6 +9,7 @@
 #include "pma/cpma.hpp"
 #include "util/random.hpp"
 
+using cpma::ACPMA;
 using cpma::CPMA;
 using cpma::PMA;
 using cpma::util::Rng;
@@ -16,7 +17,7 @@ using cpma::util::Rng;
 template <typename T>
 class PmaPointTest : public ::testing::Test {};
 
-using Engines = ::testing::Types<PMA, CPMA>;
+using Engines = ::testing::Types<PMA, CPMA, ACPMA>;
 TYPED_TEST_SUITE(PmaPointTest, Engines);
 
 template <typename T>

@@ -12,6 +12,7 @@
 #include "pma/cpma.hpp"
 #include "util/random.hpp"
 
+using cpma::ACPMA;
 using cpma::CPMA;
 using cpma::PMA;
 using cpma::util::Rng;
@@ -231,7 +232,7 @@ INSTANTIATE_TEST_SUITE_P(Factors, GrowthFactor,
 template <typename T>
 class BatchEdgeCases : public ::testing::Test {};
 
-using Engines = ::testing::Types<PMA, CPMA>;
+using Engines = ::testing::Types<PMA, CPMA, ACPMA>;
 TYPED_TEST_SUITE(BatchEdgeCases, Engines);
 
 template <typename T>

@@ -13,6 +13,7 @@
 #include "pma/cpma.hpp"
 #include "util/random.hpp"
 
+using cpma::ACPMA;
 using cpma::CPMA;
 using cpma::PMA;
 using cpma::util::Rng;
@@ -20,7 +21,7 @@ using cpma::util::Rng;
 template <typename T>
 class PmaResizeTest : public ::testing::Test {};
 
-using Engines = ::testing::Types<PMA, CPMA>;
+using Engines = ::testing::Types<PMA, CPMA, ACPMA>;
 TYPED_TEST_SUITE(PmaResizeTest, Engines);
 
 namespace {
