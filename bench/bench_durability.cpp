@@ -1,0 +1,227 @@
+// Durability bench: WAL-on ingest overhead, checkpoint throughput, and
+// crash-recovery speed, on real files through io::PosixVfs.
+//
+// Protocol per (engine, shards): preload BASE_N uniform keys, then stream
+// INSERT_N more in batch=10000 batches (the serving bench's merge regime)
+// and report, one RESULT row per wal mode:
+//
+//   wal=off       plain ServingPMA ingest — the same-run reference the
+//                 serving-latency snapshot's clients=0 rows track; the
+//                 wal=interval ingest ratio is judged against this
+//                 (acceptance: within 0.9x).
+//   wal=interval  DurablePMA with the default group-commit fsync policy
+//                 (kInterval). The same row also times a full checkpoint
+//                 of the loaded store (ckpt_bytes_per_s), then ingests a
+//                 WAL tail of INSERT_N/2 more keys, syncs, drops the
+//                 store, and times a cold reopen — checkpoint load + WAL
+//                 replay + fresh post-recovery checkpoint —
+//                 as recover_keys_per_s over the recovered key count.
+//   wal=always    fsync on every record: the latency floor of per-batch
+//                 durability, reported for attribution only.
+//
+// RESULT lines feed scripts/run_bench.py; every *_per_s field is compared
+// higher-is-better by scripts/compare_bench.py. Scratch files live under
+// CPMA_BENCH_DURABLE_DIR (default bench_durability_tmp/ in the cwd) and
+// are wiped before each trial.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pma/cpma.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+constexpr uint64_t kBatchSize = 10'000;
+
+struct DurResult {
+  double ingest_per_s = 0;
+  double ckpt_bytes_per_s = 0;
+  uint64_t ckpt_bytes = 0;
+  double recover_keys_per_s = 0;
+  uint64_t recovered_keys = 0;
+  uint64_t replay_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_syncs = 0;
+};
+
+std::string scratch_dir() {
+  const char* v = std::getenv("CPMA_BENCH_DURABLE_DIR");
+  return (v == nullptr || *v == '\0') ? "bench_durability_tmp" : v;
+}
+
+void wipe(cpma::durable::io::Vfs& vfs, const std::string& dir) {
+  std::vector<std::string> names;
+  if (!vfs.list(dir, names).ok()) return;
+  for (const std::string& name : names) vfs.remove(dir + "/" + name);
+}
+
+template <typename S>
+double timed_ingest(S& s, const std::vector<uint64_t>& inserts) {
+  std::vector<uint64_t> scratch;
+  cpma::util::Timer t;
+  for (uint64_t off = 0; off < inserts.size(); off += kBatchSize) {
+    const uint64_t len = std::min<uint64_t>(kBatchSize, inserts.size() - off);
+    scratch.assign(inserts.begin() + off, inserts.begin() + off + len);
+    s.insert_batch(std::move(scratch));
+    scratch.clear();
+  }
+  return static_cast<double>(inserts.size()) / t.elapsed_seconds();
+}
+
+// The wal=off reference: the serving layer alone, same shards, no
+// durability observer — the clients=0 protocol of bench_serving_latency.
+template <typename Engine>
+double run_reference(const std::vector<uint64_t>& base,
+                     const std::vector<uint64_t>& inserts, uint64_t shards) {
+  double best = 0;
+  for (int trial = 0; trial < bench::trials(); ++trial) {
+    cpma::serve::ServingSettings cfg;
+    cfg.sharded.num_shards = shards;
+    cpma::serve::ServingPMA<Engine> serving(cfg);
+    std::vector<uint64_t> b = base;
+    serving.insert_batch(std::move(b));
+    best = std::max(best, timed_ingest(serving, inserts));
+  }
+  return best;
+}
+
+template <typename Engine>
+DurResult run_durable(cpma::durable::io::Vfs& vfs, const std::string& dir,
+                      const std::vector<uint64_t>& base,
+                      const std::vector<uint64_t>& inserts,
+                      const std::vector<uint64_t>& tail, uint64_t shards,
+                      cpma::durable::FsyncPolicy policy) {
+  namespace dur = cpma::durable;
+  DurResult best;
+  for (int trial = 0; trial < bench::trials(); ++trial) {
+    wipe(vfs, dir);
+    dur::DurableSettings cfg;
+    cfg.serving.sharded.num_shards = shards;
+    cfg.wal.policy = policy;
+    if (policy == dur::FsyncPolicy::kInterval) {
+      // Group commit sized so the fsync cadence amortizes at merge-regime
+      // ingest (a few syncs per second at the measured rates). The library
+      // default stays much tighter (1 MiB / 50 ms) for a smaller loss
+      // window; both knobs still yield to an explicit env override.
+      cfg.wal.interval_bytes =
+          cpma::util::env_u64("CPMA_WAL_INTERVAL_BYTES", 8u << 20);
+      cfg.wal.interval_ns =
+          cpma::util::env_u64("CPMA_WAL_INTERVAL_NS", 1'000'000'000);
+    }
+    DurResult r;
+    {
+      dur::DurablePMA<Engine> d(vfs, dir, cfg);
+      std::vector<uint64_t> b = base;
+      d.insert_batch(std::move(b));
+      r.ingest_per_s = timed_ingest(d, inserts);
+
+      cpma::util::Timer ct;
+      if (d.checkpoint().ok()) {
+        const double ckpt_seconds = ct.elapsed_seconds();
+        r.ckpt_bytes = d.stats().checkpoint_bytes;
+        r.ckpt_bytes_per_s =
+            static_cast<double>(r.ckpt_bytes) / ckpt_seconds;
+      }
+
+      // WAL tail beyond the checkpoint, batched like the ingest stream, so
+      // the timed reopen replays a real record sequence instead of just
+      // loading the checkpoint.
+      timed_ingest(d, tail);
+      d.sync_wal();
+      const dur::DurableStats st = d.stats();
+      r.wal_bytes = st.wal_bytes;
+      r.wal_syncs = st.wal_syncs;
+    }
+    {
+      cpma::util::Timer rt;
+      dur::DurablePMA<Engine> d(vfs, dir, cfg);
+      const double recover_seconds = rt.elapsed_seconds();
+      r.recovered_keys = d.size();
+      r.recover_keys_per_s =
+          static_cast<double>(r.recovered_keys) / recover_seconds;
+      r.replay_records = d.recovery_report().records_replayed;
+    }
+    if (r.ingest_per_s > best.ingest_per_s) best = r;
+  }
+  wipe(vfs, dir);
+  return best;
+}
+
+void emit_durable(const char* name, uint64_t shards, const char* wal,
+                  const DurResult& r) {
+  std::printf("RESULT bench=durability struct=%s shards=%llu batch=%llu "
+              "wal=%s ingest_per_s=%.6e",
+              name, (unsigned long long)shards,
+              (unsigned long long)kBatchSize, wal, r.ingest_per_s);
+  if (r.ckpt_bytes_per_s > 0) {
+    std::printf(" ckpt_bytes_per_s=%.6e ckpt_bytes=%llu", r.ckpt_bytes_per_s,
+                (unsigned long long)r.ckpt_bytes);
+  }
+  if (r.recovered_keys > 0) {
+    std::printf(" recover_keys_per_s=%.6e recovered_keys=%llu "
+                "replay_records=%llu",
+                r.recover_keys_per_s, (unsigned long long)r.recovered_keys,
+                (unsigned long long)r.replay_records);
+  }
+  std::printf(" wal_bytes=%llu wal_syncs=%llu\n",
+              (unsigned long long)r.wal_bytes,
+              (unsigned long long)r.wal_syncs);
+}
+
+template <typename Engine>
+void run_struct(const char* name, cpma::durable::io::Vfs& vfs,
+                const std::string& dir, const std::vector<uint64_t>& base,
+                const std::vector<uint64_t>& inserts,
+                const std::vector<uint64_t>& tail, uint64_t shards) {
+  namespace dur = cpma::durable;
+  const double ref = run_reference<Engine>(base, inserts, shards);
+  std::printf("RESULT bench=durability struct=%s shards=%llu batch=%llu "
+              "wal=off ingest_per_s=%.6e\n",
+              name, (unsigned long long)shards,
+              (unsigned long long)kBatchSize, ref);
+
+  DurResult interval = run_durable<Engine>(vfs, dir, base, inserts, tail,
+                                           shards, dur::FsyncPolicy::kInterval);
+  emit_durable(name, shards, "interval", interval);
+  if (ref > 0) {
+    std::printf("# %s shards=%llu wal=interval ingest overhead: %.3fx of "
+                "wal=off (acceptance: >= 0.9x)\n",
+                name, (unsigned long long)shards,
+                interval.ingest_per_s / ref);
+  }
+
+  DurResult always = run_durable<Engine>(vfs, dir, base, inserts, tail,
+                                         shards, dur::FsyncPolicy::kAlways);
+  emit_durable(name, shards, "always", always);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_config_line("durability: WAL ingest / checkpoint / recovery");
+  const auto base = bench::uniform_keys(bench::base_n(), 1);
+  const auto inserts = bench::uniform_keys(bench::insert_n(), 2);
+  const auto tail = bench::uniform_keys(bench::insert_n() / 2, 3);
+
+  cpma::durable::io::PosixVfs vfs;
+  const std::string dir = scratch_dir();
+
+  for (uint64_t sc : bench::shard_counts()) {
+    if (bench::struct_enabled("durable_pma")) {
+      run_struct<cpma::PMA>("durable_pma", vfs, dir, base, inserts, tail, sc);
+    }
+    if (bench::struct_enabled("durable_cpma")) {
+      run_struct<cpma::CPMA>("durable_cpma", vfs, dir, base, inserts, tail,
+                             sc);
+    }
+    if (bench::struct_enabled("durable_acpma")) {
+      run_struct<cpma::ACPMA>("durable_acpma", vfs, dir, base, inserts, tail,
+                              sc);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,594 @@
+// Durability I/O layer: a minimal VFS the checkpoint/WAL code writes
+// through, with three implementations —
+//
+//   PosixVfs   real files (open/append/fsync/rename/unlink/readdir); what
+//              production uses and what the durability bench measures.
+//   MemVfs     in-memory files with an explicit CRASH MODEL: every byte is
+//              either synced (durable) or unsynced; crash() truncates each
+//              file to its synced prefix plus a seeded-random amount of the
+//              unsynced tail (torn write), optionally flips bits in that
+//              surviving unsynced region, and DROPS files whose directory
+//              entry was never fsynced. This is deliberately the harshest
+//              POSIX-legal model: if recovery survives MemVfs::crash() it
+//              survives a kernel panic on ext4.
+//   FaultyVfs  decorator injecting runtime faults under a seeded schedule:
+//              EIO on write, short writes (a prefix lands on the base file,
+//              then the call fails), failed fsync (reports failure WITHOUT
+//              syncing), silent bit flips on the way down, and read errors.
+//              Drives the chaos suite; checksums must catch what it plants.
+//
+// All methods return io::Status (empty message == OK); none throw. The
+// interface is append-oriented because both durable formats are: WAL
+// segments are append-only, checkpoints are write-once-then-rename.
+#pragma once
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace cpma::durable::io {
+
+inline uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Empty message == success. Kept string-y (not an errno enum): every failure
+// site wants to say *which* file and operation, and the chaos suite only
+// branches on ok().
+struct Status {
+  std::string message;
+  bool ok() const { return message.empty(); }
+  static Status good() { return Status{}; }
+  static Status error(std::string m) { return Status{std::move(m)}; }
+};
+
+class File {
+ public:
+  virtual ~File() = default;
+  // Appends n bytes at the end of the file. A failed append may still have
+  // written a prefix (torn write) — the on-disk tail is untrusted until the
+  // next successful sync().
+  virtual Status append(const void* data, uint64_t n) = 0;
+  // Durability barrier: all previously appended bytes survive a crash once
+  // sync() returns OK. A failed sync promises nothing.
+  virtual Status sync() = 0;
+  virtual Status pread(uint64_t offset, void* out, uint64_t n,
+                       uint64_t* got) = 0;
+  virtual uint64_t size() const = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+  // Creates (or opens, append-positioned) a file for writing. `truncate`
+  // discards existing content.
+  virtual std::unique_ptr<File> open_write(const std::string& path,
+                                           bool truncate, Status* st) = 0;
+  virtual std::unique_ptr<File> open_read(const std::string& path,
+                                          Status* st) = 0;
+  virtual Status mkdir(const std::string& path) = 0;  // OK if it exists
+  virtual Status rename(const std::string& from, const std::string& to) = 0;
+  virtual Status remove(const std::string& path) = 0;
+  // Durability barrier for the DIRECTORY: creations/renames/removals under
+  // `path` survive a crash once this returns OK (fsync of the dir fd on
+  // POSIX; files created but never dir-synced can vanish).
+  virtual Status sync_dir(const std::string& path) = 0;
+  virtual Status list(const std::string& dir,
+                      std::vector<std::string>& names) = 0;
+  virtual bool exists(const std::string& path) = 0;
+
+  // Convenience: whole file into `out`.
+  Status read_all(const std::string& path, std::vector<uint8_t>& out) {
+    Status st;
+    std::unique_ptr<File> f = open_read(path, &st);
+    if (!st.ok()) return st;
+    out.resize(f->size());
+    uint64_t got = 0;
+    st = f->pread(0, out.data(), out.size(), &got);
+    if (!st.ok()) return st;
+    if (got != out.size()) {
+      return Status::error("read_all " + path + ": short read");
+    }
+    return Status::good();
+  }
+};
+
+// ---- PosixVfs --------------------------------------------------------------
+
+class PosixFile final : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  Status append(const void* data, uint64_t n) override {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    while (n > 0) {
+      ssize_t w = ::write(fd_, p, n);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::error(std::string("write: ") + std::strerror(errno));
+      }
+      p += w;
+      n -= static_cast<uint64_t>(w);
+    }
+    return Status::good();
+  }
+
+  Status sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::error(std::string("fsync: ") + std::strerror(errno));
+    }
+    return Status::good();
+  }
+
+  Status pread(uint64_t offset, void* out, uint64_t n,
+               uint64_t* got) override {
+    uint8_t* p = static_cast<uint8_t*>(out);
+    *got = 0;
+    while (n > 0) {
+      ssize_t r = ::pread(fd_, p, n, static_cast<off_t>(offset));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::error(std::string("pread: ") + std::strerror(errno));
+      }
+      if (r == 0) break;  // EOF
+      p += r;
+      offset += static_cast<uint64_t>(r);
+      n -= static_cast<uint64_t>(r);
+      *got += static_cast<uint64_t>(r);
+    }
+    return Status::good();
+  }
+
+  uint64_t size() const override {
+    struct stat sb;
+    if (::fstat(fd_, &sb) != 0) return 0;
+    return static_cast<uint64_t>(sb.st_size);
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixVfs final : public Vfs {
+ public:
+  std::unique_ptr<File> open_write(const std::string& path, bool truncate,
+                                   Status* st) override {
+    int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      *st = Status::error("open_write " + path + ": " + std::strerror(errno));
+      return nullptr;
+    }
+    *st = Status::good();
+    return std::make_unique<PosixFile>(fd);
+  }
+
+  std::unique_ptr<File> open_read(const std::string& path,
+                                  Status* st) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      *st = Status::error("open_read " + path + ": " + std::strerror(errno));
+      return nullptr;
+    }
+    *st = Status::good();
+    return std::make_unique<PosixFile>(fd);
+  }
+
+  Status mkdir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::error("mkdir " + path + ": " + std::strerror(errno));
+    }
+    return Status::good();
+  }
+
+  Status rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::error("rename " + from + ": " + std::strerror(errno));
+    }
+    return Status::good();
+  }
+
+  Status remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::error("unlink " + path + ": " + std::strerror(errno));
+    }
+    return Status::good();
+  }
+
+  Status sync_dir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      return Status::error("open dir " + path + ": " + std::strerror(errno));
+    }
+    Status st = Status::good();
+    if (::fsync(fd) != 0) {
+      st = Status::error("fsync dir " + path + ": " + std::strerror(errno));
+    }
+    ::close(fd);
+    return st;
+  }
+
+  Status list(const std::string& dir,
+              std::vector<std::string>& names) override {
+    names.clear();
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      return Status::error("opendir " + dir + ": " + std::strerror(errno));
+    }
+    while (struct dirent* e = ::readdir(d)) {
+      std::string n = e->d_name;
+      if (n != "." && n != "..") names.push_back(std::move(n));
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return Status::good();
+  }
+
+  bool exists(const std::string& path) override {
+    struct stat sb;
+    return ::stat(path.c_str(), &sb) == 0;
+  }
+};
+
+// ---- MemVfs ----------------------------------------------------------------
+
+class MemVfs final : public Vfs {
+ public:
+  struct CrashStats {
+    uint64_t files_dropped = 0;    // dir entry never synced
+    uint64_t bytes_torn = 0;       // unsynced bytes discarded
+    uint64_t bits_flipped = 0;     // corruption planted in surviving tails
+  };
+
+  std::unique_ptr<File> open_write(const std::string& path, bool truncate,
+                                   Status* st) override;
+  std::unique_ptr<File> open_read(const std::string& path,
+                                  Status* st) override;
+
+  Status mkdir(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(m_);
+    dirs_synced_.insert({path, false});
+    return Status::good();
+  }
+
+  Status rename(const std::string& from, const std::string& to) override {
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = files_.find(from);
+    if (it == files_.end()) {
+      return Status::error("rename " + from + ": not found");
+    }
+    std::shared_ptr<Node> node = it->second;
+    files_.erase(it);
+    // The new name is volatile until the next sync_dir — and the old name
+    // (with the pre-rename durable content) is what a crash would resurrect
+    // on a real FS. We take the harsher line: the old entry is gone and the
+    // new one vanishes entirely if the directory is never synced.
+    node->meta_durable = false;
+    files_[to] = std::move(node);
+    return Status::good();
+  }
+
+  Status remove(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(m_);
+    files_.erase(path);
+    return Status::good();
+  }
+
+  Status sync_dir(const std::string&) override {
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto& [name, node] : files_) node->meta_durable = true;
+    return Status::good();
+  }
+
+  Status list(const std::string& dir,
+              std::vector<std::string>& names) override {
+    std::lock_guard<std::mutex> lock(m_);
+    names.clear();
+    const std::string prefix = dir.empty() || dir.back() == '/'
+                                   ? dir
+                                   : dir + "/";
+    for (const auto& [name, node] : files_) {
+      if (name.rfind(prefix, 0) == 0 &&
+          name.find('/', prefix.size()) == std::string::npos) {
+        names.push_back(name.substr(prefix.size()));
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return Status::good();
+  }
+
+  bool exists(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(m_);
+    return files_.count(path) > 0;
+  }
+
+  // Simulated kill -9 + power cut, seeded for reproduction. See the file
+  // header for the model. Open handles become stale (the chaos suite
+  // destroys the structure before crashing, as a killed process would).
+  CrashStats crash(uint64_t seed) {
+    std::lock_guard<std::mutex> lock(m_);
+    util::Rng rng(seed);
+    CrashStats stats;
+    for (auto it = files_.begin(); it != files_.end();) {
+      Node& node = *it->second;
+      if (!node.meta_durable) {
+        ++stats.files_dropped;
+        it = files_.erase(it);
+        continue;
+      }
+      if (node.data.size() > node.synced) {
+        // A seeded fraction of the unsynced tail survives (torn write)...
+        const uint64_t unsynced = node.data.size() - node.synced;
+        const uint64_t keep = rng.next_below(unsynced + 1);
+        stats.bytes_torn += unsynced - keep;
+        node.data.resize(node.synced + keep);
+        // ... and what survives may be garbage: flip a few bits in it.
+        if (keep > 0 && rng.next_below(2) == 0) {
+          const uint64_t flips = 1 + rng.next_below(3);
+          for (uint64_t f = 0; f < flips; ++f) {
+            const uint64_t at = node.synced + rng.next_below(keep);
+            node.data[at] ^= static_cast<uint8_t>(1u << rng.next_below(8));
+            ++stats.bits_flipped;
+          }
+        }
+      }
+      node.synced = node.data.size();
+      ++it;
+    }
+    return stats;
+  }
+
+  uint64_t file_size(const std::string& path) {
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = files_.find(path);
+    return it == files_.end() ? 0 : it->second->data.size();
+  }
+
+  uint64_t synced_size(const std::string& path) {
+    std::lock_guard<std::mutex> lock(m_);
+    auto it = files_.find(path);
+    return it == files_.end() ? 0 : it->second->synced;
+  }
+
+ private:
+  struct Node {
+    std::vector<uint8_t> data;
+    uint64_t synced = 0;        // bytes guaranteed to survive crash()
+    bool meta_durable = false;  // dir entry survived a sync_dir
+  };
+
+  friend class MemFile;
+  std::mutex m_;
+  std::map<std::string, std::shared_ptr<Node>> files_;
+  std::map<std::string, bool> dirs_synced_;
+};
+
+class MemFile final : public File {
+ public:
+  MemFile(MemVfs* vfs, std::shared_ptr<MemVfs::Node> node)
+      : vfs_(vfs), node_(std::move(node)) {}
+
+  Status append(const void* data, uint64_t n) override {
+    std::lock_guard<std::mutex> lock(vfs_->m_);
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    node_->data.insert(node_->data.end(), p, p + n);
+    return Status::good();
+  }
+
+  Status sync() override {
+    std::lock_guard<std::mutex> lock(vfs_->m_);
+    node_->synced = node_->data.size();
+    return Status::good();
+  }
+
+  Status pread(uint64_t offset, void* out, uint64_t n,
+               uint64_t* got) override {
+    std::lock_guard<std::mutex> lock(vfs_->m_);
+    *got = 0;
+    if (offset >= node_->data.size()) return Status::good();
+    *got = std::min<uint64_t>(n, node_->data.size() - offset);
+    std::memcpy(out, node_->data.data() + offset, *got);
+    return Status::good();
+  }
+
+  uint64_t size() const override {
+    std::lock_guard<std::mutex> lock(vfs_->m_);
+    return node_->data.size();
+  }
+
+ private:
+  MemVfs* vfs_;
+  std::shared_ptr<MemVfs::Node> node_;
+};
+
+inline std::unique_ptr<File> MemVfs::open_write(const std::string& path,
+                                                bool truncate, Status* st) {
+  std::lock_guard<std::mutex> lock(m_);
+  std::shared_ptr<Node>& node = files_[path];
+  if (node == nullptr) {
+    node = std::make_shared<Node>();
+  } else if (truncate) {
+    node->data.clear();
+    node->synced = 0;
+  }
+  *st = Status::good();
+  return std::make_unique<MemFile>(this, node);
+}
+
+inline std::unique_ptr<File> MemVfs::open_read(const std::string& path,
+                                               Status* st) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    *st = Status::error("open_read " + path + ": not found");
+    return nullptr;
+  }
+  *st = Status::good();
+  return std::make_unique<MemFile>(this, it->second);
+}
+
+// ---- FaultyVfs -------------------------------------------------------------
+
+// Per-ten-thousand fault rates; every draw comes from one seeded stream so a
+// schedule is reproducible from (seed, rates) alone.
+struct FaultPlan {
+  uint64_t seed = 1;
+  uint32_t write_error_bp = 0;   // append fails, nothing written
+  uint32_t short_write_bp = 0;   // append fails, a random prefix written
+  uint32_t bit_flip_bp = 0;      // append "succeeds" with a flipped bit
+  uint32_t sync_fail_bp = 0;     // sync reports failure, does not sync
+  uint32_t read_error_bp = 0;    // pread fails
+};
+
+struct FaultStats {
+  uint64_t write_errors = 0;
+  uint64_t short_writes = 0;
+  uint64_t bit_flips = 0;
+  uint64_t sync_failures = 0;
+  uint64_t read_errors = 0;
+};
+
+class FaultyVfs;
+
+class FaultyFile final : public File {
+ public:
+  FaultyFile(FaultyVfs* vfs, std::unique_ptr<File> base)
+      : vfs_(vfs), base_(std::move(base)) {}
+
+  Status append(const void* data, uint64_t n) override;
+  Status sync() override;
+  Status pread(uint64_t offset, void* out, uint64_t n,
+               uint64_t* got) override;
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  FaultyVfs* vfs_;
+  std::unique_ptr<File> base_;
+};
+
+class FaultyVfs final : public Vfs {
+ public:
+  FaultyVfs(Vfs& base, FaultPlan plan)
+      : base_(base), plan_(plan), rng_(plan.seed) {}
+
+  std::unique_ptr<File> open_write(const std::string& path, bool truncate,
+                                   Status* st) override {
+    std::unique_ptr<File> f = base_.open_write(path, truncate, st);
+    if (f == nullptr) return nullptr;
+    return std::make_unique<FaultyFile>(this, std::move(f));
+  }
+  std::unique_ptr<File> open_read(const std::string& path,
+                                  Status* st) override {
+    std::unique_ptr<File> f = base_.open_read(path, st);
+    if (f == nullptr) return nullptr;
+    return std::make_unique<FaultyFile>(this, std::move(f));
+  }
+  Status mkdir(const std::string& path) override { return base_.mkdir(path); }
+  Status rename(const std::string& from, const std::string& to) override {
+    return base_.rename(from, to);
+  }
+  Status remove(const std::string& path) override {
+    return base_.remove(path);
+  }
+  Status sync_dir(const std::string& path) override {
+    return base_.sync_dir(path);
+  }
+  Status list(const std::string& dir,
+              std::vector<std::string>& names) override {
+    return base_.list(dir, names);
+  }
+  bool exists(const std::string& path) override { return base_.exists(path); }
+
+  FaultStats fault_stats() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return stats_;
+  }
+
+ private:
+  friend class FaultyFile;
+
+  // One seeded draw per decision point; basis points out of 10'000.
+  bool draw(uint32_t bp) { return bp > 0 && rng_.next_below(10'000) < bp; }
+  uint64_t draw_below(uint64_t bound) { return rng_.next_below(bound); }
+
+  Vfs& base_;
+  FaultPlan plan_;
+  mutable std::mutex m_;
+  util::Rng rng_;
+  FaultStats stats_;
+};
+
+inline Status FaultyFile::append(const void* data, uint64_t n) {
+  {
+    std::lock_guard<std::mutex> lock(vfs_->m_);
+    if (vfs_->draw(vfs_->plan_.write_error_bp)) {
+      ++vfs_->stats_.write_errors;
+      return Status::error("injected: EIO on write");
+    }
+    if (n > 1 && vfs_->draw(vfs_->plan_.short_write_bp)) {
+      ++vfs_->stats_.short_writes;
+      const uint64_t part = vfs_->draw_below(n);
+      if (part > 0) base_->append(data, part);  // torn prefix lands
+      return Status::error("injected: short write");
+    }
+    if (n > 0 && vfs_->draw(vfs_->plan_.bit_flip_bp)) {
+      ++vfs_->stats_.bit_flips;
+      std::vector<uint8_t> corrupt(static_cast<const uint8_t*>(data),
+                                   static_cast<const uint8_t*>(data) + n);
+      corrupt[vfs_->draw_below(n)] ^=
+          static_cast<uint8_t>(1u << vfs_->draw_below(8));
+      return base_->append(corrupt.data(), corrupt.size());  // silent
+    }
+  }
+  return base_->append(data, n);
+}
+
+inline Status FaultyFile::sync() {
+  {
+    std::lock_guard<std::mutex> lock(vfs_->m_);
+    if (vfs_->draw(vfs_->plan_.sync_fail_bp)) {
+      ++vfs_->stats_.sync_failures;
+      return Status::error("injected: fsync failed");
+    }
+  }
+  return base_->sync();
+}
+
+inline Status FaultyFile::pread(uint64_t offset, void* out, uint64_t n,
+                                uint64_t* got) {
+  {
+    std::lock_guard<std::mutex> lock(vfs_->m_);
+    if (vfs_->draw(vfs_->plan_.read_error_bp)) {
+      ++vfs_->stats_.read_errors;
+      *got = 0;
+      return Status::error("injected: EIO on read");
+    }
+  }
+  return base_->pread(offset, out, n, got);
+}
+
+}  // namespace cpma::durable::io

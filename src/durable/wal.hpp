@@ -1,0 +1,387 @@
+// Per-shard write-ahead log.
+//
+// A WAL segment is a flat stream of framed records:
+//
+//   [magic u32 "WREC"][len u32][crc32c u32][payload: len bytes]
+//   payload = [op u8: 0=insert 1=remove][lsn u64][count u32][count × key u64]
+//
+// The crc covers the payload only; len is additionally folded into the crc
+// seed so a record whose length field was bit-flipped cannot re-frame into
+// a shorter valid record. All integers little-endian (this repo is
+// x86-only; the SIMD kernels already assume it).
+//
+// Segment files are named `wal-s<shard>-c<cseq>-p<part>.log`:
+//   shard  which shard's queue the records came from,
+//   cseq   the checkpoint sequence the segment belongs to — recovery only
+//          replays segments with cseq >= the recovered checkpoint's seq,
+//          and checkpointing prunes segments with cseq < the new seq,
+//   part   monotone within (shard, cseq): rotation and post-recovery
+//          reopen both bump part rather than appending to a file whose
+//          tail may be torn.
+//
+// LSNs are GLOBAL (assigned under the serving layer's writer mutex), not
+// per-shard: shard rebalancing moves keys across shard boundaries, so
+// per-shard ordering alone cannot reconstruct a consistent cut. Recovery
+// merges all surviving records by LSN and replays the longest contiguous
+// prefix above the checkpoint's cut — a gap means a record in the middle
+// was lost (corrupt/torn), and everything after it is from a future the
+// store never acknowledged as durable.
+//
+// Fsync policy decides the ack watermark: kAlways makes every record
+// durable before apply; kInterval batches fsyncs by bytes/time (the ≤10%
+// overhead mode the bench tracks); kNever leaves durability to the OS.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "durable/io.hpp"
+#include "util/crc32c.hpp"
+
+namespace cpma::durable {
+
+inline constexpr uint32_t kWalMagic = 0x43455257u;  // "WREC" little-endian
+inline constexpr uint32_t kWalHeaderBytes = 12;     // magic + len + crc
+inline constexpr uint32_t kWalMaxPayload = 1u << 26;  // 64 MiB sanity bound
+
+enum class FsyncPolicy : uint8_t { kAlways, kInterval, kNever };
+
+struct WalSettings {
+  FsyncPolicy policy = FsyncPolicy::kInterval;
+  uint64_t interval_bytes = 1u << 20;     // sync when this much is unsynced
+  uint64_t interval_ns = 50'000'000;      // ... or this much time has passed
+};
+
+// ---- little-endian put/get helpers ----------------------------------------
+
+inline void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  const size_t at = out.size();
+  out.resize(at + 4);
+  std::memcpy(out.data() + at, &v, 4);
+}
+inline void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  const size_t at = out.size();
+  out.resize(at + 8);
+  std::memcpy(out.data() + at, &v, 8);
+}
+inline uint32_t get_u32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+inline uint64_t get_u64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+// ---- segment naming --------------------------------------------------------
+
+inline std::string wal_name(uint64_t shard, uint64_t cseq, uint64_t part) {
+  return "wal-s" + std::to_string(shard) + "-c" + std::to_string(cseq) +
+         "-p" + std::to_string(part) + ".log";
+}
+
+struct WalName {
+  uint64_t shard = 0;
+  uint64_t cseq = 0;
+  uint64_t part = 0;
+};
+
+// Parses a run of decimal digits at `at`; advances `at` past them.
+inline bool parse_u64_digits(const std::string& s, size_t& at,
+                             uint64_t* out) {
+  if (at >= s.size() || s[at] < '0' || s[at] > '9') return false;
+  uint64_t v = 0;
+  while (at < s.size() && s[at] >= '0' && s[at] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(s[at] - '0');
+    ++at;
+  }
+  *out = v;
+  return true;
+}
+
+inline bool parse_wal_name(const std::string& name, WalName* out) {
+  // wal-s<u64>-c<u64>-p<u64>.log
+  if (name.rfind("wal-s", 0) != 0) return false;
+  size_t at = 5;
+  if (!parse_u64_digits(name, at, &out->shard)) return false;
+  if (name.compare(at, 2, "-c") != 0) return false;
+  at += 2;
+  if (!parse_u64_digits(name, at, &out->cseq)) return false;
+  if (name.compare(at, 2, "-p") != 0) return false;
+  at += 2;
+  if (!parse_u64_digits(name, at, &out->part)) return false;
+  return name.compare(at, std::string::npos, ".log") == 0;
+}
+
+// ---- writer ----------------------------------------------------------------
+
+class WalWriter {
+ public:
+  WalWriter(io::Vfs& vfs, std::string dir, uint64_t shard, WalSettings s)
+      : vfs_(vfs), dir_(std::move(dir)), shard_(shard), settings_(s) {}
+
+  // Opens a fresh segment `wal-s<shard>-c<cseq>-p<next part>.log`. Called on
+  // startup, after each checkpoint cut (with the new cseq), and never
+  // reuses a part number — an existing file's tail is untrusted.
+  //
+  // Records appended since the last successful fsync are retained in
+  // `pending_` and REPLAYED into the fresh part here. Without that, a
+  // rotation forced by one failed append/sync would strand earlier
+  // unsynced (but acknowledged and applied) records in the abandoned
+  // file's tail, and a later sync of the new part would advance the
+  // durable watermark over records only a lucky crash could preserve.
+  // Memory cost: one fsync interval's worth of bytes (unbounded only
+  // under kNever with no explicit syncs).
+  io::Status rotate(uint64_t cseq) {
+    if (cseq != cseq_) {
+      cseq_ = cseq;
+      // parts stay monotone across cseq bumps too; no harm, and it keeps
+      // "(cseq, part) lexicographically newest" a total order per shard.
+    }
+    ++part_;
+    file_.reset();
+    io::Status st;
+    path_ = dir_ + "/" + wal_name(shard_, cseq_, part_);
+    file_ = vfs_.open_write(path_, /*truncate=*/true, &st);
+    if (!st.ok()) return st;
+    st = vfs_.sync_dir(dir_);  // the segment must exist after a crash
+    if (!st.ok()) return st;
+    unsynced_bytes_ = 0;
+    last_sync_ns_ = io::now_ns();
+    if (!pending_.empty()) {
+      st = file_->append(pending_.data(), pending_.size());
+      if (!st.ok()) {
+        // Replay failed: keep pending_ (and the unsynced floor) for the
+        // next rotation attempt; this part's tail is untrusted.
+        poisoned_ = true;
+        return st;
+      }
+      unsynced_bytes_ = pending_.size();
+    } else {
+      first_unsynced_lsn_ = 0;
+    }
+    return io::Status::good();
+  }
+
+  // Ensures part numbering resumes after the newest surviving segment.
+  void seed_part(uint64_t max_seen_part) {
+    if (max_seen_part > part_) part_ = max_seen_part;
+  }
+
+  // Appends one framed record and applies the fsync policy. On success
+  // *durable is set to whether the record (and all before it) is on stable
+  // storage — the caller's ack watermark.
+  io::Status append(uint8_t op, uint64_t lsn, const uint64_t* keys,
+                    uint32_t count, bool* durable) {
+    *durable = false;
+    if (file_ == nullptr) return io::Status::error("wal: no open segment");
+    // Serialize straight onto pending_ (the rotation replay buffer) and
+    // write from its tail: one serialization pass, no second copy.
+    const size_t rec_at = pending_.size();
+    put_u32(pending_, kWalMagic);
+    const uint32_t len = 1 + 8 + 4 + 8ull * count;
+    put_u32(pending_, len);
+    put_u32(pending_, 0);  // crc placeholder
+    const size_t payload_at = pending_.size();
+    pending_.push_back(op);
+    put_u64(pending_, lsn);
+    put_u32(pending_, count);
+    const size_t keys_at = pending_.size();
+    pending_.resize(keys_at + 8ull * count);
+    std::memcpy(pending_.data() + keys_at, keys, 8ull * count);
+    const uint32_t crc =
+        util::crc32c(pending_.data() + payload_at, len, /*prev=*/len);
+    std::memcpy(pending_.data() + rec_at + 8, &crc, 4);
+
+    io::Status st =
+        file_->append(pending_.data() + rec_at, pending_.size() - rec_at);
+    if (!st.ok()) {
+      // The on-disk tail is now untrusted (possibly torn mid-record); force
+      // the next append onto a fresh part so one bad write cannot corrupt
+      // later, otherwise-good records in the same file. The caller vetoes
+      // the apply, so the record was never acknowledged — it must not
+      // resurface from the replay buffer either.
+      pending_.resize(rec_at);
+      poisoned_ = true;
+      return st;
+    }
+    unsynced_bytes_ += pending_.size() - rec_at;
+    if (first_unsynced_lsn_ == 0) first_unsynced_lsn_ = lsn;
+    return maybe_sync(durable);
+  }
+
+  // True when a failed append poisoned the current segment; the owner
+  // should rotate() before the next append.
+  bool poisoned() const { return poisoned_; }
+  void clear_poisoned() { poisoned_ = false; }
+
+  // Explicit group-commit barrier (used at checkpoint cut and by
+  // DurablePMA::sync_wal()). Must NOT report success while any pending
+  // record is not safely in the current segment (poisoned tail, failed
+  // rotation): callers take OK as "everything logged so far is durable".
+  io::Status sync() {
+    if (poisoned_) return io::Status::error("wal: segment poisoned");
+    if (file_ == nullptr) {
+      return pending_.empty() ? io::Status::good()
+                              : io::Status::error("wal: no open segment");
+    }
+    if (unsynced_bytes_ == 0 && pending_.empty()) return io::Status::good();
+    io::Status st = file_->sync();
+    if (st.ok()) {
+      unsynced_bytes_ = 0;
+      first_unsynced_lsn_ = 0;
+      pending_.clear();
+      last_sync_ns_ = io::now_ns();
+    }
+    return st;
+  }
+
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
+  // Lowest lsn appended to this segment since its last successful sync
+  // (0 = fully synced). The global durable watermark is bounded by
+  // min(first_unsynced_lsn) - 1 across shards: syncing ONE shard's file
+  // says nothing about earlier records still unsynced in the others.
+  uint64_t first_unsynced_lsn() const { return first_unsynced_lsn_; }
+  uint64_t cseq() const { return cseq_; }
+  uint64_t part() const { return part_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  io::Status maybe_sync(bool* durable) {
+    switch (settings_.policy) {
+      case FsyncPolicy::kAlways: {
+        io::Status st = sync();
+        *durable = st.ok();
+        return st;
+      }
+      case FsyncPolicy::kInterval: {
+        if (unsynced_bytes_ >= settings_.interval_bytes ||
+            io::now_ns() - last_sync_ns_ >= settings_.interval_ns) {
+          io::Status st = sync();
+          *durable = st.ok();
+          return st;
+        }
+        return io::Status::good();
+      }
+      case FsyncPolicy::kNever:
+        return io::Status::good();
+    }
+    return io::Status::good();
+  }
+
+  io::Vfs& vfs_;
+  std::string dir_;
+  uint64_t shard_;
+  WalSettings settings_;
+  std::unique_ptr<io::File> file_;
+  std::string path_;
+  uint64_t cseq_ = 0;
+  uint64_t part_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+  uint64_t first_unsynced_lsn_ = 0;
+  // Framed bytes of every record appended since the last successful sync —
+  // the rotation replay buffer (see rotate()) and the append scratch
+  // space: records are serialized onto its tail and written from there.
+  std::vector<uint8_t> pending_;
+  uint64_t last_sync_ns_ = 0;
+  bool poisoned_ = false;
+};
+
+// ---- tolerant scanner ------------------------------------------------------
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  bool is_insert = true;
+  std::vector<uint64_t> keys;
+  // Provenance, filled from the segment name by the caller — recovery
+  // prefers the record from the newer (cseq, part) when LSNs collide
+  // (a segment written before a crash-then-recover cycle can hold stale
+  // records with since-reused LSNs).
+  uint64_t cseq = 0;
+  uint64_t part = 0;
+};
+
+struct WalScanStats {
+  uint64_t records = 0;
+  uint64_t corrupt_skipped = 0;  // bad crc / insane len, resynced past
+  uint64_t torn_tails = 0;       // incomplete final record (expected!)
+  uint64_t bytes_scanned = 0;
+};
+
+// Scans one segment, appending every intact record to `out`. Never fails:
+// corruption is skipped by resyncing on the next magic, an incomplete
+// final record is counted as a torn tail. Read errors abandon the rest of
+// the file (counted as corrupt).
+inline WalScanStats scan_wal_file(io::Vfs& vfs, const std::string& path,
+                                  std::vector<WalRecord>& out) {
+  WalScanStats stats;
+  std::vector<uint8_t> data;
+  if (!vfs.read_all(path, data).ok()) {
+    ++stats.corrupt_skipped;
+    return stats;
+  }
+  stats.bytes_scanned = data.size();
+  size_t at = 0;
+  while (at + kWalHeaderBytes <= data.size()) {
+    if (get_u32(data.data() + at) != kWalMagic) {
+      // Lost framing: slide byte-by-byte to the next magic.
+      ++at;
+      continue;
+    }
+    const uint32_t len = get_u32(data.data() + at + 4);
+    const uint32_t crc = get_u32(data.data() + at + 8);
+    if (len < 13 || len > kWalMaxPayload || (len - 13) % 8 != 0) {
+      ++stats.corrupt_skipped;
+      ++at;
+      continue;
+    }
+    if (at + kWalHeaderBytes + len > data.size()) {
+      // Frame extends past EOF: a torn final record — unless a later
+      // magic exists, in which case this frame was corrupt mid-file.
+      bool later_magic = false;
+      for (size_t j = at + 1; j + 4 <= data.size(); ++j) {
+        if (get_u32(data.data() + j) == kWalMagic) {
+          later_magic = true;
+          break;
+        }
+      }
+      if (later_magic) {
+        ++stats.corrupt_skipped;
+        ++at;
+        continue;
+      }
+      ++stats.torn_tails;
+      break;
+    }
+    const uint8_t* payload = data.data() + at + kWalHeaderBytes;
+    if (util::crc32c(payload, len, /*prev=*/len) != crc) {
+      ++stats.corrupt_skipped;
+      ++at;
+      continue;
+    }
+    const uint8_t op = payload[0];
+    const uint64_t lsn = get_u64(payload + 1);
+    const uint32_t count = get_u32(payload + 9);
+    if (op > 1 || 13 + 8ull * count != len) {
+      ++stats.corrupt_skipped;
+      ++at;
+      continue;
+    }
+    WalRecord rec;
+    rec.lsn = lsn;
+    rec.is_insert = op == 0;
+    rec.keys.resize(count);
+    std::memcpy(rec.keys.data(), payload + 13, 8ull * count);
+    out.push_back(std::move(rec));
+    ++stats.records;
+    at += kWalHeaderBytes + len;
+  }
+  return stats;
+}
+
+}  // namespace cpma::durable

@@ -86,12 +86,16 @@ class Scheduler {
 
   // ---- participant registry (serve/ epoch reclamation) ---------------------
   // Any thread — pool worker, registered master, or an external client
-  // thread of the serving layer — can claim a stable dense id below
-  // kMaxParticipants. Ids are assigned lazily on first call, cached in a
-  // thread-local, and returned to a free list when the thread exits, so
-  // long-lived servers with thread churn do not exhaust the space. The
-  // serve/ epoch manager sizes its pin-slot array by kMaxParticipants and
-  // indexes it with this id.
+  // thread of the serving layer — can claim a stable dense id. Ids are
+  // assigned lazily on first call, cached in a thread-local, and returned
+  // to a free list when the thread exits, so long-lived servers with
+  // thread churn do not exhaust the space. The serve/ epoch manager sizes
+  // its per-thread pin-slot array by kMaxParticipants; ids AT OR ABOVE the
+  // cap are still handed out (with a one-time stderr warning) and the
+  // epoch manager folds them onto a shared conservative overflow slot —
+  // graceful degradation (overflow readers contend on one slot and hold
+  // reclamation back a little longer) instead of aborting or, worse,
+  // silently aliasing two threads onto one pin slot.
   static constexpr unsigned kMaxParticipants = 512;
   static unsigned participant_id();
 

@@ -8,6 +8,7 @@
 // in the paper's artifact appendix.
 #pragma once
 
+#include "durable/durable.hpp"
 #include "pma/leaf_adaptive.hpp"
 #include "pma/leaf_compressed.hpp"
 #include "pma/leaf_uncompressed.hpp"
@@ -34,5 +35,11 @@ using SCPMA = pma::ShardedPMA<CPMA>;
 // store, flat-combining ingest front end (see serve/serving.hpp).
 using ServingPMA = serve::ServingPMA<PMA>;
 using ServingCPMA = serve::ServingPMA<CPMA>;
+
+// Durable serving: WAL-before-apply + checkpoints + crash recovery on top
+// of the serving layer (see durable/durable.hpp).
+using DurablePMA = durable::DurablePMA<PMA>;
+using DurableCPMA = durable::DurablePMA<CPMA>;
+using DurableACPMA = durable::DurablePMA<ACPMA>;
 
 }  // namespace cpma

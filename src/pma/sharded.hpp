@@ -127,6 +127,25 @@ class ShardedPMA {
     }, 1);
   }
 
+  // Checkpoint restore hook (src/durable/): adopt the checkpoint's splitter
+  // layout verbatim, then bulk-build each shard from its decoded sorted key
+  // stream — `load_shard(s)` returns shard s's keys (sorted, deduped,
+  // within the splitter range, as the validated checkpoint guarantees).
+  // Requires an empty structure with matching shard count; returns false
+  // (untouched) otherwise. Shards load in parallel as sibling tasks.
+  template <typename Loader>
+  bool restore_from_checkpoint(std::vector<key_type> splitters,
+                               Loader&& load_shard) {
+    if (!empty() || splitters.size() + 1 != shards_.size()) return false;
+    splitters_ = std::move(splitters);
+    par::parallel_for(0, shards_.size(), [&](uint64_t s) {
+      std::vector<key_type> keys = load_shard(s);
+      shards_[s].build_from_sorted(keys.data(), keys.size());
+      if (!keys.empty()) ++versions_[s];
+    }, 1);
+    return true;
+  }
+
   // ---- size & space -------------------------------------------------------
 
   uint64_t size() const {

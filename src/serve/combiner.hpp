@@ -20,10 +20,19 @@
 // FIFO per queue is preserved: drain() hands back the ops in enqueue order
 // and the serving layer applies them as maximal same-op runs, so an
 // insert(k) ... remove(k) sequence through one queue lands in order.
+//
+// Backpressure: the queue itself is unbounded; the serving layer enforces a
+// cap through try_push (fails instead of growing past the cap) plus
+// wait_below (a bounded condition wait for "drained under the cap",
+// notified by drain). Admission policy — whether a full queue blocks the
+// client toward a deadline or rejects outright — lives in the serving
+// layer; the queue just provides the bounded primitive and the
+// rejected/blocked counters surfaced by serving_stats().
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <utility>
@@ -68,17 +77,55 @@ class CombiningQueue {
     return n;
   }
 
+  // Bounded append: fails (returns 0, nothing enqueued) when the queue
+  // already holds `cap` ops; otherwise behaves like push. cap == 0 means
+  // unbounded.
+  uint64_t try_push(uint64_t key, bool is_insert, uint64_t cap) {
+    std::lock_guard<std::mutex> lock(m_);
+    if (cap != 0 && ops_.size() >= cap) return 0;
+    if (ops_.empty()) {
+      oldest_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+    }
+    ops_.push_back(Op{key, is_insert});
+    uint64_t n = ops_.size();
+    pending_.store(n, std::memory_order_release);
+    return n;
+  }
+
   // Moves all pending ops into `out` (cleared first); returns the count.
-  // Combiner side.
+  // Combiner side. Wakes clients blocked in wait_below.
   uint64_t drain(std::vector<Op>& out) {
     out.clear();
-    std::lock_guard<std::mutex> lock(m_);
-    out.swap(ops_);
-    // Keep the drained vector's capacity as the next buffer: steady-state
-    // combining then allocates nothing on either side.
-    pending_.store(0, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      out.swap(ops_);
+      // Keep the drained vector's capacity as the next buffer: steady-state
+      // combining then allocates nothing on either side.
+      pending_.store(0, std::memory_order_release);
+    }
+    if (!out.empty()) not_full_.notify_all();
     return out.size();
   }
+
+  // Waits until the queue holds fewer than `cap` ops or `deadline_ns`
+  // (steady clock) passes; returns whether there is room. Spurious-wakeup
+  // safe; callers re-try try_push regardless.
+  bool wait_below(uint64_t cap, uint64_t deadline_ns) {
+    std::unique_lock<std::mutex> lock(m_);
+    const auto deadline = std::chrono::steady_clock::time_point(
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::nanoseconds(deadline_ns)));
+    return not_full_.wait_until(lock, deadline,
+                                [&] { return ops_.size() < cap; });
+  }
+
+  // Admission-policy counters, bumped by the serving layer.
+  void count_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void count_blocked() { blocked_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t blocked() const { return blocked_.load(std::memory_order_relaxed); }
 
   // Lock-free probes for the flush-trigger checks.
   uint64_t pending() const { return pending_.load(std::memory_order_acquire); }
@@ -97,9 +144,12 @@ class CombiningQueue {
 
  private:
   std::mutex m_;
+  std::condition_variable not_full_;
   std::vector<Op> ops_;
   std::atomic<uint64_t> pending_{0};
   std::atomic<uint64_t> oldest_ns_{0};  // enqueue time of the oldest op
+  std::atomic<uint64_t> rejected_{0};   // ops turned away at the cap
+  std::atomic<uint64_t> blocked_{0};    // block events (kBlock admission)
 };
 
 }  // namespace cpma::serve

@@ -31,10 +31,20 @@
 // Nesting: a thread that pins while already pinned keeps its outer (older)
 // epoch — conservative and safe. Guards must be destroyed on the thread
 // that created them.
+//
+// Overflow: participant ids >= the slot-array capacity (the scheduler keeps
+// handing ids out past kMaxParticipants rather than aborting) share ONE
+// refcounted overflow slot, taken under a mutex. The shared slot keeps the
+// epoch of the OLDEST overflow pin until every overflow guard releases —
+// strictly more conservative than a per-thread pin (min_active() can only
+// be lower), so the reclamation proof is unchanged; the cost is that a
+// burst of >capacity threads contends on one mutex and can hold retired
+// views a little longer. Degradation, not corruption.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "parallel/scheduler.hpp"
@@ -45,7 +55,8 @@ class EpochManager {
  public:
   static constexpr uint64_t kIdle = UINT64_MAX;
 
-  EpochManager() : slots_(par::Scheduler::kMaxParticipants) {}
+  explicit EpochManager(uint64_t max_slots = par::Scheduler::kMaxParticipants)
+      : slots_(max_slots == 0 ? 1 : max_slots) {}
   EpochManager(const EpochManager&) = delete;
   EpochManager& operator=(const EpochManager&) = delete;
 
@@ -53,12 +64,17 @@ class EpochManager {
   class Guard {
    public:
     Guard() = default;
-    Guard(Guard&& o) noexcept : slot_(o.slot_) { o.slot_ = nullptr; }
+    Guard(Guard&& o) noexcept : slot_(o.slot_), overflow_mgr_(o.overflow_mgr_) {
+      o.slot_ = nullptr;
+      o.overflow_mgr_ = nullptr;
+    }
     Guard& operator=(Guard&& o) noexcept {
       if (this != &o) {
         release();
         slot_ = o.slot_;
+        overflow_mgr_ = o.overflow_mgr_;
         o.slot_ = nullptr;
+        o.overflow_mgr_ = nullptr;
       }
       return *this;
     }
@@ -69,20 +85,29 @@ class EpochManager {
    private:
     friend class EpochManager;
     explicit Guard(std::atomic<uint64_t>* slot) : slot_(slot) {}
+    explicit Guard(EpochManager* overflow_mgr) : overflow_mgr_(overflow_mgr) {}
     void release() {
       if (slot_ != nullptr) {
         slot_->store(kIdle, std::memory_order_seq_cst);
         slot_ = nullptr;
+      } else if (overflow_mgr_ != nullptr) {
+        overflow_mgr_->release_overflow();
+        overflow_mgr_ = nullptr;
       }
     }
     // nullptr for a nested (no-op) guard: the outer pin already protects.
     std::atomic<uint64_t>* slot_ = nullptr;
+    // Set instead of slot_ for overflow pins (shared refcounted slot).
+    EpochManager* overflow_mgr_ = nullptr;
   };
 
   Guard pin() {
-    std::atomic<uint64_t>& slot = slots_[par::Scheduler::participant_id()].e;
+    const unsigned id = par::Scheduler::participant_id();
+    if (id >= slots_.size()) return pin_overflow();
+    std::atomic<uint64_t>& slot = slots_[id].e;
     if (slot.load(std::memory_order_relaxed) != kIdle) {
-      return Guard(nullptr);  // nested pin: keep the outer epoch
+      // Nested pin: the outer pin already protects; hand out a no-op guard.
+      return Guard(static_cast<std::atomic<uint64_t>*>(nullptr));
     }
     // Publish the pin, then confirm the epoch did not advance underneath —
     // one retry round keeps the published pin at most one epoch stale,
@@ -110,15 +135,52 @@ class EpochManager {
       uint64_t e = s.e.load(std::memory_order_seq_cst);
       if (e != kIdle && e < min) min = e;
     }
+    uint64_t e = overflow_slot_.e.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < min) min = e;
     return min;
+  }
+
+  uint64_t num_slots() const { return slots_.size(); }
+  // Live overflow pins (threads with id >= num_slots), for tests/metrics.
+  uint64_t overflow_pins() const {
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    return overflow_count_;
   }
 
  private:
   struct alignas(64) Slot {
     std::atomic<uint64_t> e{kIdle};
   };
+
+  // Shared pin for every thread whose participant id exceeds the slot
+  // array. The first pinner publishes the epoch; later pinners (and nested
+  // pins — the refcount subsumes per-thread nesting) keep that OLDER epoch,
+  // which only makes min_active() more conservative. The slot idles when
+  // the last overflow guard releases.
+  Guard pin_overflow() {
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    if (overflow_count_ == 0) {
+      uint64_t e = global_.load(std::memory_order_seq_cst);
+      overflow_slot_.e.store(e, std::memory_order_seq_cst);
+      uint64_t now = global_.load(std::memory_order_seq_cst);
+      if (now != e) overflow_slot_.e.store(now, std::memory_order_seq_cst);
+    }
+    ++overflow_count_;
+    return Guard(this);
+  }
+
+  void release_overflow() {
+    std::lock_guard<std::mutex> lock(overflow_mutex_);
+    if (--overflow_count_ == 0) {
+      overflow_slot_.e.store(kIdle, std::memory_order_seq_cst);
+    }
+  }
+
   std::atomic<uint64_t> global_{1};
   std::vector<Slot> slots_;  // indexed by Scheduler::participant_id()
+  mutable std::mutex overflow_mutex_;
+  uint64_t overflow_count_ = 0;
+  Slot overflow_slot_;
 };
 
 }  // namespace cpma::serve

@@ -56,8 +56,15 @@
 #include "serve/combiner.hpp"
 #include "serve/epoch.hpp"
 #include "serve/snapshot.hpp"
+#include "util/env.hpp"
 
 namespace cpma::serve {
+
+// What a client's insert()/remove() does when its shard queue is at
+// queue_cap: kBlock waits (bounded by block_deadline_ns, re-volunteering
+// as the combiner while it waits) then fails; kReject fails immediately.
+// try_insert()/try_remove() always take the reject path.
+enum class Admission : uint8_t { kBlock, kReject };
 
 struct ServingSettings {
   // Write-side composition (shard count, rebalance policy, engine bounds).
@@ -76,6 +83,13 @@ struct ServingSettings {
   // Publish after every write regardless of cost — deterministic visibility
   // for tests and read-mostly workloads.
   bool publish_eager = false;
+
+  // Ingest backpressure: per-shard queue cap (0 = unbounded, the pre-cap
+  // behavior) and what a full queue does to the client. The env override
+  // lets deployments bound ingest memory without a rebuild.
+  uint64_t queue_cap = util::env_u64("CPMA_SERVE_QUEUE_CAP", 0);
+  Admission admission = Admission::kBlock;
+  uint64_t block_deadline_ns = 100'000'000;  // 100 ms
 };
 
 struct ServingStats {
@@ -87,6 +101,27 @@ struct ServingStats {
   uint64_t apply_ns = 0;       // total time applying writes to the store
   uint64_t retired_views = 0;  // retired, not yet reclaimed
   uint64_t reclaimed_views = 0;
+  uint64_t vetoed_ops = 0;     // ops refused by the write observer (WAL down)
+};
+
+// Per-shard ingest front-end counters (serving_stats()): live queue depth
+// plus cumulative admission-policy outcomes.
+struct ShardQueueStats {
+  uint64_t depth = 0;     // ops currently queued
+  uint64_t rejected = 0;  // ops turned away (reject policy / deadline)
+  uint64_t blocked = 0;   // block events (client waited at the cap)
+};
+
+// Called by the serving layer UNDER THE WRITER LOCK immediately before a
+// run of same-op keys is applied to the store — the seam the durability
+// layer (src/durable/) hangs its WAL on. Returning false vetoes the apply:
+// the keys are dropped and counted in ServingStats::vetoed_ops (a WAL that
+// cannot log must not let unlogged writes through).
+class WriteObserver {
+ public:
+  virtual ~WriteObserver() = default;
+  virtual bool before_apply(const uint64_t* keys, uint64_t n,
+                            bool is_insert) = 0;
 };
 
 template <typename Engine>
@@ -108,6 +143,18 @@ class ServingPMA {
   ServingPMA(const key_type* start, const key_type* end,
              ServingSettings settings = {})
       : settings_(settings), store_(start, end, settings.sharded) {
+    queues_ = std::vector<CombiningQueue>(store_.num_shards());
+    snap_versions_.assign(store_.num_shards(), 0);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    publish_locked(/*forced=*/true);
+  }
+
+  // Adopt an already-built store (the durability layer restores a
+  // ShardedPMA from checkpoint + WAL replay, then starts serving on it).
+  // settings.sharded is ignored — the adopted store brings its own.
+  explicit ServingPMA(pma::ShardedPMA<Engine>&& store,
+                      ServingSettings settings = {})
+      : settings_(settings), store_(std::move(store)) {
     queues_ = std::vector<CombiningQueue>(store_.num_shards());
     snap_versions_.assign(store_.num_shards(), 0);
     std::lock_guard<std::mutex> lock(writer_mutex_);
@@ -171,8 +218,26 @@ class ServingPMA {
 
   // ---- ingest front end (any client thread) -------------------------------
 
-  void insert(key_type key) { enqueue(key, /*is_insert=*/true); }
-  void remove(key_type key) { enqueue(key, /*is_insert=*/false); }
+  // Returns whether the op was admitted (always true with queue_cap == 0).
+  // A false return means the shard queue stayed at the cap through the
+  // admission policy — the op was NOT enqueued and will never apply.
+  bool insert(key_type key) {
+    return enqueue(key, /*is_insert=*/true,
+                   settings_.admission == Admission::kBlock);
+  }
+  bool remove(key_type key) {
+    return enqueue(key, /*is_insert=*/false,
+                   settings_.admission == Admission::kBlock);
+  }
+
+  // Never-blocking admission regardless of the configured policy: a full
+  // queue fails immediately.
+  bool try_insert(key_type key) {
+    return enqueue(key, /*is_insert=*/true, /*allow_block=*/false);
+  }
+  bool try_remove(key_type key) {
+    return enqueue(key, /*is_insert=*/false, /*allow_block=*/false);
+  }
 
   // Combiner tick: drain every queue past its size/age threshold and
   // publish if due. Safe from any thread; blocks on the writer lock (use it
@@ -191,10 +256,32 @@ class ServingPMA {
     publish_locked(/*forced=*/true);
   }
 
+  // flush(), then run `f` while STILL HOLDING the writer lock — so between
+  // the forced publish and f's return no write can apply. The durability
+  // layer uses this as its checkpoint cut: f pins the just-published
+  // snapshot, records the WAL position, and rotates segments, all against
+  // one quiescent point. f must not call back into write paths (deadlock)
+  // — snapshot()/reads are fine.
+  template <typename F>
+  void flush_with(F&& f) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    combine_locked(/*force_all=*/true);
+    publish_locked(/*forced=*/true);
+    f();
+  }
+
+  // Installs (or clears, with nullptr) the pre-apply hook. Takes the writer
+  // lock so the swap cannot race an in-flight apply.
+  void set_write_observer(WriteObserver* observer) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    observer_ = observer;
+  }
+
   // ---- synchronous batch writes (single writer thread) --------------------
 
   uint64_t insert_batch(key_type* input, uint64_t n, bool sorted = false) {
     std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (!observe_apply(input, n, /*is_insert=*/true)) return 0;
     detail_timer t;
     uint64_t delta = store_.insert_batch(input, n, sorted);
     stats_.apply_ns += t.lap();
@@ -207,6 +294,7 @@ class ServingPMA {
 
   uint64_t remove_batch(key_type* input, uint64_t n, bool sorted = false) {
     std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (!observe_apply(input, n, /*is_insert=*/false)) return 0;
     detail_timer t;
     uint64_t delta = store_.remove_batch(input, n, sorted);
     stats_.apply_ns += t.lap();
@@ -232,26 +320,78 @@ class ServingPMA {
     return s;
   }
 
+  // Per-shard ingest queue counters — the overload observability surface
+  // (depth now, ops rejected, block events). Lock-free reads; counters are
+  // cumulative since construction.
+  std::vector<ShardQueueStats> serving_stats() const {
+    std::vector<ShardQueueStats> out(queues_.size());
+    for (uint64_t s = 0; s < queues_.size(); ++s) {
+      out[s].depth = queues_[s].pending();
+      out[s].rejected = queues_[s].rejected();
+      out[s].blocked = queues_[s].blocked();
+    }
+    return out;
+  }
+
  private:
   using detail_timer = pma::detail::PhaseTimer;
 
-  void enqueue(key_type key, bool is_insert) {
-    uint64_t pending;
+  bool enqueue(key_type key, bool is_insert, bool allow_block) {
+    uint64_t s;
     {
       // Route against the published splitters (stable under the pin). Drift
       // vs the store's live splitters only costs queue locality — the
       // combiner re-routes through the sharded batch dispatch.
       Snapshot snap = snapshot();
       const std::vector<key_type>& sp = snap.view().splitters();
-      uint64_t s = static_cast<uint64_t>(
+      s = static_cast<uint64_t>(
           std::upper_bound(sp.begin(), sp.end(), key) - sp.begin());
+    }
+    const uint64_t cap = settings_.queue_cap;
+    uint64_t pending;
+    if (cap == 0) {
       pending = queues_[s].push(key, is_insert);
+    } else {
+      pending = queues_[s].try_push(key, is_insert, cap);
+      if (pending == 0 && allow_block) {
+        pending = enqueue_blocking(s, key, is_insert, cap);
+      }
+      if (pending == 0) {
+        queues_[s].count_rejected();
+        return false;
+      }
     }
     if (pending >= settings_.combine_batch) {
       // Volunteer as the combiner — but never wait: a held lock means an
       // active combiner/writer will pick this queue up.
       std::unique_lock<std::mutex> lock(writer_mutex_, std::try_to_lock);
       if (lock.owns_lock()) combine_locked(/*force_all=*/false);
+    }
+    return true;
+  }
+
+  // Block-with-deadline admission: alternate volunteering as the combiner
+  // (someone has to drain the queue we are waiting on — if every client
+  // just waited, a system with no dedicated combiner thread would
+  // deadlock at the cap) with bounded waits on the queue's not-full
+  // signal. Returns the post-push pending count, or 0 on deadline.
+  uint64_t enqueue_blocking(uint64_t s, key_type key, bool is_insert,
+                            uint64_t cap) {
+    queues_[s].count_blocked();
+    const uint64_t deadline = steady_now_ns() + settings_.block_deadline_ns;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(writer_mutex_, std::try_to_lock);
+        if (lock.owns_lock()) combine_locked(/*force_all=*/true);
+      }
+      uint64_t pending = queues_[s].try_push(key, is_insert, cap);
+      if (pending != 0) return pending;
+      const uint64_t now = steady_now_ns();
+      if (now >= deadline) return 0;
+      // Short wait slices keep a combine volunteer in the loop even if the
+      // drain notification is missed (e.g. another client refills the
+      // queue between drain and our retry).
+      queues_[s].wait_below(cap, std::min(now + 1'000'000, deadline));
     }
   }
 
@@ -283,6 +423,9 @@ class ServingPMA {
             run_buf_.push_back(drain_buf_[i].key);
             ++i;
           }
+          if (!observe_apply(run_buf_.data(), run_buf_.size(), is_insert)) {
+            continue;  // vetoed: the run is dropped, counted in vetoed_ops
+          }
           if (is_insert) {
             store_.insert_batch(run_buf_.data(), run_buf_.size());
           } else {
@@ -298,6 +441,17 @@ class ServingPMA {
       publish_locked(/*forced=*/false);
     }
     return applied;
+  }
+
+  // Pre-apply hook dispatch (writer lock held). No observer -> always OK.
+  bool observe_apply(const key_type* keys, uint64_t n, bool is_insert) {
+    if (n == 0) return true;
+    if (observer_ != nullptr &&
+        !observer_->before_apply(keys, n, is_insert)) {
+      stats_.vetoed_ops += n;
+      return false;
+    }
+    return true;
   }
 
   bool publish_due() const {
@@ -345,6 +499,7 @@ class ServingPMA {
   std::vector<key_type> run_buf_;
   uint64_t last_publish_ns_ = 0;
   ServingStats stats_;
+  WriteObserver* observer_ = nullptr;  // written/read under writer_mutex_
 };
 
 }  // namespace cpma::serve

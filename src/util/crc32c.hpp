@@ -1,0 +1,102 @@
+// CRC32C (Castagnoli) — the checksum guarding every durable byte the
+// checkpoint/WAL layer writes (src/durable/).
+//
+// CRC32C is the storage-stack convention (iSCSI, ext4, LevelDB/RocksDB WAL
+// frames) because its polynomial has hardware support: SSE4.2 ships a
+// per-8-byte `crc32` instruction. The software fallback is slice-by-8 over
+// compile-time tables — one table lookup per input byte across eight
+// parallel streams, ~1 GB/s class, fast enough that checksumming is never
+// the bottleneck of a checkpoint write (the encode pass is).
+//
+// The implementation is the reflected (LSB-first) form, seed/xorout
+// 0xFFFFFFFF, matching the RFC 3720 test vector:
+//   crc32c("123456789") == 0xE3069283.
+// `crc32c(data, n, prev)` chains: pass the previous result to extend a
+// checksum over discontiguous buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#ifndef CPMA_SIMD
+#define CPMA_SIMD 1
+#endif
+
+#if CPMA_SIMD && defined(__SSE4_2__)
+#include <nmmintrin.h>
+#define CPMA_CRC32C_HW 1
+#else
+#define CPMA_CRC32C_HW 0
+#endif
+
+namespace cpma::util {
+
+namespace crc_detail {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // CRC32C, reflected
+
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables make_tables() {
+  Tables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+    tb.t[0][i] = c;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tb.t[0][i];
+    for (int j = 1; j < 8; ++j) {
+      c = tb.t[0][c & 0xff] ^ (c >> 8);
+      tb.t[j][i] = c;
+    }
+  }
+  return tb;
+}
+
+inline constexpr Tables kTables = make_tables();
+
+}  // namespace crc_detail
+
+// CRC32C of `n` bytes at `data`; chain discontiguous buffers by passing the
+// previous return value as `prev` (0 starts a fresh checksum).
+inline uint32_t crc32c(const void* data, size_t n, uint32_t prev = 0) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~prev;
+#if CPMA_CRC32C_HW
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, word));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+#else
+  const auto& t = crc_detail::kTables.t;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: low 4 bytes absorb the running crc
+    crc = t[7][word & 0xff] ^ t[6][(word >> 8) & 0xff] ^
+          t[5][(word >> 16) & 0xff] ^ t[4][(word >> 24) & 0xff] ^
+          t[3][(word >> 32) & 0xff] ^ t[2][(word >> 40) & 0xff] ^
+          t[1][(word >> 48) & 0xff] ^ t[0][(word >> 56) & 0xff];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    --n;
+  }
+#endif
+  return ~crc;
+}
+
+}  // namespace cpma::util

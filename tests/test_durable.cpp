@@ -1,0 +1,558 @@
+// Durability unit suite: the pieces under src/durable/ individually —
+// CRC32C vectors, WAL framing + tolerant scanning, checkpoint round trips
+// (typed over all three leaf formats), the MemVfs crash model, FaultyVfs
+// injection accounting — plus the serving-layer seams this PR added:
+// bounded backpressured ingest queues, the write-observer veto, epoch
+// participant overflow, and ShardedPMA::restore_from_checkpoint.
+//
+// The randomized kill-point / fault-schedule coverage lives in
+// test_chaos.cpp; this file pins down deterministic contracts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pma/cpma.hpp"
+#include "util/random.hpp"
+
+using cpma::durable::DurablePMA;
+using cpma::durable::DurableSettings;
+using cpma::durable::FsyncPolicy;
+using cpma::durable::WalRecord;
+using cpma::durable::WalScanStats;
+using cpma::durable::WalSettings;
+using cpma::durable::WalWriter;
+using cpma::durable::io::FaultPlan;
+using cpma::durable::io::FaultyVfs;
+using cpma::durable::io::MemVfs;
+using cpma::durable::io::Status;
+using cpma::util::crc32c;
+using cpma::util::Rng;
+
+namespace {
+
+uint64_t key_at(uint64_t i) { return (i + 1) * 0x9E3779B97F4A7C15ull; }
+
+DurableSettings test_settings(uint64_t shards, FsyncPolicy policy) {
+  DurableSettings s;
+  s.serving.sharded.num_shards = shards;
+  s.serving.sharded.min_rebalance_bytes = 1 << 12;
+  s.serving.publish_eager = true;
+  s.wal.policy = policy;
+  return s;
+}
+
+std::vector<uint64_t> collect(const std::set<uint64_t>& s) {
+  return std::vector<uint64_t>(s.begin(), s.end());
+}
+
+// ---- crc32c ---------------------------------------------------------------
+
+TEST(Crc32c, Rfc3720KnownAnswer) {
+  // The canonical CRC32C check value.
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32c, EmptyAndChaining) {
+  EXPECT_EQ(crc32c("", 0), 0u);
+  const char* msg = "hello, durable world";
+  const size_t n = std::strlen(msg);
+  uint32_t whole = crc32c(msg, n);
+  for (size_t split = 0; split <= n; ++split) {
+    uint32_t part = crc32c(msg, split);
+    EXPECT_EQ(crc32c(msg + split, n - split, part), whole) << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(257);
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.next());
+  const uint32_t clean = crc32c(data.data(), data.size());
+  for (int trial = 0; trial < 64; ++trial) {
+    size_t at = rng.next_below(data.size());
+    uint8_t bit = static_cast<uint8_t>(1u << rng.next_below(8));
+    data[at] ^= bit;
+    EXPECT_NE(crc32c(data.data(), data.size()), clean);
+    data[at] ^= bit;
+  }
+}
+
+// ---- WAL framing + scanning ----------------------------------------------
+
+TEST(Wal, NameRoundTrip) {
+  cpma::durable::WalName wn;
+  ASSERT_TRUE(cpma::durable::parse_wal_name(
+      cpma::durable::wal_name(3, 17, 240), &wn));
+  EXPECT_EQ(wn.shard, 3u);
+  EXPECT_EQ(wn.cseq, 17u);
+  EXPECT_EQ(wn.part, 240u);
+  EXPECT_FALSE(cpma::durable::parse_wal_name("wal-s3-c17-p240.tmp", &wn));
+  EXPECT_FALSE(cpma::durable::parse_wal_name("ckpt-3.cpma", &wn));
+  EXPECT_FALSE(cpma::durable::parse_wal_name("wal-sx-c1-p1.log", &wn));
+  uint64_t seq;
+  ASSERT_TRUE(cpma::durable::parse_ckpt_name("ckpt-12.cpma", &seq));
+  EXPECT_EQ(seq, 12u);
+  EXPECT_FALSE(cpma::durable::parse_ckpt_name("ckpt-12.tmp", &seq));
+}
+
+TEST(Wal, AppendScanRoundTrip) {
+  MemVfs vfs;
+  vfs.mkdir("d");
+  WalWriter w(vfs, "d", 0, WalSettings{FsyncPolicy::kAlways, 0, 0});
+  ASSERT_TRUE(w.rotate(1).ok());
+  std::vector<std::vector<uint64_t>> batches;
+  Rng rng(11);
+  for (uint64_t lsn = 1; lsn <= 20; ++lsn) {
+    std::vector<uint64_t> keys(1 + rng.next_below(50));
+    for (auto& k : keys) k = rng.next();
+    bool durable = false;
+    ASSERT_TRUE(w.append(lsn % 2 == 0 ? 1 : 0, lsn, keys.data(),
+                         static_cast<uint32_t>(keys.size()), &durable)
+                    .ok());
+    EXPECT_TRUE(durable);  // kAlways
+    batches.push_back(std::move(keys));
+  }
+  std::vector<WalRecord> recs;
+  WalScanStats st = cpma::durable::scan_wal_file(vfs, w.path(), recs);
+  EXPECT_EQ(st.records, 20u);
+  EXPECT_EQ(st.corrupt_skipped, 0u);
+  EXPECT_EQ(st.torn_tails, 0u);
+  ASSERT_EQ(recs.size(), 20u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(recs[i].lsn, i + 1);
+    EXPECT_EQ(recs[i].is_insert, (i + 1) % 2 != 0);
+    EXPECT_EQ(recs[i].keys, batches[i]);
+  }
+}
+
+TEST(Wal, TornTailTolerated) {
+  MemVfs vfs;
+  vfs.mkdir("d");
+  WalWriter w(vfs, "d", 0, WalSettings{FsyncPolicy::kNever, 0, 0});
+  ASSERT_TRUE(w.rotate(1).ok());
+  std::vector<uint64_t> keys{10, 20, 30};
+  bool durable;
+  ASSERT_TRUE(w.append(0, 1, keys.data(), 3, &durable).ok());
+  ASSERT_TRUE(w.append(0, 2, keys.data(), 3, &durable).ok());
+  // Chop the final record mid-frame: keep the whole first record plus a
+  // partial second.
+  const uint64_t full = vfs.file_size(w.path());
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(vfs.read_all(w.path(), data).ok());
+  data.resize(full - 7);
+  Status st;
+  auto f = vfs.open_write(w.path(), /*truncate=*/true, &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(f->append(data.data(), data.size()).ok());
+  std::vector<WalRecord> recs;
+  WalScanStats stats = cpma::durable::scan_wal_file(vfs, w.path(), recs);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.torn_tails, 1u);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].lsn, 1u);
+}
+
+TEST(Wal, CorruptMiddleRecordSkipped) {
+  MemVfs vfs;
+  vfs.mkdir("d");
+  WalWriter w(vfs, "d", 0, WalSettings{FsyncPolicy::kNever, 0, 0});
+  ASSERT_TRUE(w.rotate(1).ok());
+  std::vector<uint64_t> keys{10, 20, 30};
+  bool durable;
+  for (uint64_t lsn = 1; lsn <= 3; ++lsn) {
+    ASSERT_TRUE(w.append(0, lsn, keys.data(), 3, &durable).ok());
+  }
+  // Flip a payload bit in the middle record.
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(vfs.read_all(w.path(), data).ok());
+  const uint64_t rec_bytes = data.size() / 3;
+  data[rec_bytes + rec_bytes / 2] ^= 0x10;
+  Status st;
+  auto f = vfs.open_write(w.path(), /*truncate=*/true, &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(f->append(data.data(), data.size()).ok());
+  std::vector<WalRecord> recs;
+  WalScanStats stats = cpma::durable::scan_wal_file(vfs, w.path(), recs);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_GE(stats.corrupt_skipped, 1u);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].lsn, 1u);
+  EXPECT_EQ(recs[1].lsn, 3u);
+}
+
+// ---- MemVfs crash model ---------------------------------------------------
+
+TEST(MemVfs, CrashKeepsSyncedPrefixDropsUnsyncedFiles) {
+  MemVfs vfs;
+  vfs.mkdir("d");
+  Status st;
+  auto f = vfs.open_write("d/synced", /*truncate=*/true, &st);
+  ASSERT_TRUE(st.ok());
+  std::vector<uint8_t> bytes(1000, 0xAB);
+  ASSERT_TRUE(f->append(bytes.data(), 600).ok());
+  ASSERT_TRUE(f->sync().ok());
+  ASSERT_TRUE(f->append(bytes.data(), 400).ok());  // unsynced tail
+  ASSERT_TRUE(vfs.sync_dir("d").ok());
+  auto g = vfs.open_write("d/never-synced-entry", /*truncate=*/true, &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(g->append(bytes.data(), 100).ok());
+  ASSERT_TRUE(g->sync().ok());  // data synced but dir entry is not
+
+  vfs.crash(123);
+  EXPECT_FALSE(vfs.exists("d/never-synced-entry"));
+  ASSERT_TRUE(vfs.exists("d/synced"));
+  EXPECT_GE(vfs.file_size("d/synced"), 600u);   // synced prefix survives
+  EXPECT_LE(vfs.file_size("d/synced"), 1000u);  // tail may tear
+  // The synced prefix is bit-exact.
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(vfs.read_all("d/synced", back).ok());
+  for (uint64_t i = 0; i < 600; ++i) ASSERT_EQ(back[i], 0xAB);
+}
+
+TEST(FaultyVfs, InjectsPerPlanAndCounts) {
+  MemVfs base;
+  base.mkdir("d");
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.write_error_bp = 5000;  // 50%
+  FaultyVfs vfs(base, plan);
+  Status st;
+  auto f = vfs.open_write("d/x", /*truncate=*/true, &st);
+  ASSERT_TRUE(st.ok());
+  uint64_t failures = 0;
+  const uint8_t byte = 0x5A;
+  for (int i = 0; i < 200; ++i) {
+    if (!f->append(&byte, 1).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50u);
+  EXPECT_LT(failures, 150u);
+  EXPECT_EQ(vfs.fault_stats().write_errors, failures);
+  EXPECT_EQ(base.file_size("d/x"), 200 - failures);
+}
+
+// ---- ShardedPMA restore hook ----------------------------------------------
+
+TEST(RestoreHook, RejectsNonEmptyAndShardMismatch) {
+  cpma::pma::ShardedSettings ss;
+  ss.num_shards = 4;
+  cpma::pma::ShardedPMA<cpma::CPMA> store(ss);
+  std::vector<uint64_t> splitters{100, 200};  // wrong count (needs 3)
+  EXPECT_FALSE(store.restore_from_checkpoint(
+      splitters, [](uint64_t) { return std::vector<uint64_t>{}; }));
+  store.insert(7);
+  EXPECT_FALSE(store.restore_from_checkpoint(
+      std::vector<uint64_t>{100, 200, 300},
+      [](uint64_t) { return std::vector<uint64_t>{}; }));
+}
+
+TEST(RestoreHook, RestoresLayoutAndContent) {
+  cpma::pma::ShardedSettings ss;
+  ss.num_shards = 3;
+  cpma::pma::ShardedPMA<cpma::CPMA> store(ss);
+  std::vector<uint64_t> splitters{1000, 2000};
+  ASSERT_TRUE(store.restore_from_checkpoint(splitters, [](uint64_t s) {
+    std::vector<uint64_t> keys;
+    for (uint64_t i = 0; i < 100; ++i) keys.push_back(s * 1000 + i * 5 + 1);
+    return keys;
+  }));
+  EXPECT_EQ(store.size(), 300u);
+  EXPECT_EQ(store.splitters(), splitters);
+  std::string err;
+  EXPECT_TRUE(store.check_invariants(&err)) << err;
+  EXPECT_TRUE(store.has(1));
+  EXPECT_TRUE(store.has(2000 + 99 * 5 + 1));
+}
+
+// ---- typed DurablePMA contracts -------------------------------------------
+
+template <typename E>
+class Durable : public ::testing::Test {};
+using Engines = ::testing::Types<cpma::PMA, cpma::CPMA, cpma::ACPMA>;
+TYPED_TEST_SUITE(Durable, Engines);
+
+TYPED_TEST(Durable, CheckpointRoundTripsLeafFormat) {
+  MemVfs vfs;
+  std::set<uint64_t> oracle;
+  {
+    DurablePMA<TypeParam> d(vfs, "db",
+                            test_settings(4, FsyncPolicy::kAlways));
+    // Dense + sparse mix so adaptive leaves actually pick both formats.
+    std::vector<uint64_t> batch;
+    for (uint64_t i = 0; i < 4000; ++i) batch.push_back(i + 100);
+    for (uint64_t i = 0; i < 4000; ++i) batch.push_back(key_at(i));
+    oracle.insert(batch.begin(), batch.end());
+    d.insert_batch(batch);
+    ASSERT_TRUE(d.checkpoint().ok());
+  }
+  vfs.crash(1);
+  DurablePMA<TypeParam> d(vfs, "db", test_settings(4, FsyncPolicy::kAlways));
+  EXPECT_TRUE(d.recovery_report().recovered_checkpoint);
+  EXPECT_EQ(d.recovery_report().checkpoint_keys, oracle.size());
+  EXPECT_EQ(d.size(), oracle.size());
+  std::vector<uint64_t> got;
+  d.snapshot().map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, collect(oracle));
+}
+
+TYPED_TEST(Durable, WalReplayAfterCrash) {
+  MemVfs vfs;
+  std::set<uint64_t> oracle;
+  {
+    DurablePMA<TypeParam> d(vfs, "db",
+                            test_settings(2, FsyncPolicy::kAlways));
+    for (uint64_t i = 0; i < 500; ++i) {
+      d.insert(key_at(i));
+      oracle.insert(key_at(i));
+    }
+    ASSERT_TRUE(d.sync_wal().ok());
+    ASSERT_TRUE(d.checkpoint().ok());
+    // Post-checkpoint tail: some inserts, some removes, all synced.
+    for (uint64_t i = 500; i < 800; ++i) {
+      d.insert(key_at(i));
+      oracle.insert(key_at(i));
+    }
+    for (uint64_t i = 0; i < 100; ++i) {
+      d.remove(key_at(i));
+      oracle.erase(key_at(i));
+    }
+    ASSERT_TRUE(d.sync_wal().ok());
+  }  // destroyed without clean shutdown
+  vfs.crash(77);
+  DurablePMA<TypeParam> d(vfs, "db", test_settings(2, FsyncPolicy::kAlways));
+  const auto& r = d.recovery_report();
+  EXPECT_TRUE(r.recovered_checkpoint);
+  EXPECT_GT(r.records_replayed, 0u);
+  EXPECT_EQ(d.size(), oracle.size());
+  std::vector<uint64_t> got;
+  d.snapshot().map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, collect(oracle));
+}
+
+TYPED_TEST(Durable, CorruptCheckpointFallsBackToWalReplay) {
+  // Prune keeps exactly one checkpoint generation alive, so when it goes
+  // bad the fallback path is: skip it (counted), restore empty, and rebuild
+  // the state entirely from the still-unpruned WAL generation.
+  MemVfs vfs;
+  std::set<uint64_t> oracle;
+  {
+    DurablePMA<TypeParam> d(vfs, "db",
+                            test_settings(2, FsyncPolicy::kAlways));
+    for (uint64_t i = 0; i < 300; ++i) {
+      d.insert(key_at(i));
+      oracle.insert(key_at(i));
+    }
+    ASSERT_TRUE(d.sync_wal().ok());
+  }  // on disk: the empty anchor checkpoint (seq 1) + WAL holding all keys
+  const std::string path = "db/" + cpma::durable::ckpt_name(1);
+  ASSERT_TRUE(vfs.exists(path));
+  std::vector<uint8_t> data;
+  ASSERT_TRUE(vfs.read_all(path, data).ok());
+  data[data.size() / 2] ^= 0x40;
+  Status st;
+  auto f = vfs.open_write(path, /*truncate=*/true, &st);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(f->append(data.data(), data.size()).ok());
+  ASSERT_TRUE(f->sync().ok());
+
+  DurablePMA<TypeParam> d(vfs, "db", test_settings(2, FsyncPolicy::kAlways));
+  const auto& r = d.recovery_report();
+  EXPECT_GE(r.checkpoints_ignored, 1u);
+  EXPECT_FALSE(r.recovered_checkpoint);
+  EXPECT_GT(r.records_replayed, 0u);
+  EXPECT_EQ(d.size(), oracle.size());
+  std::vector<uint64_t> got;
+  d.snapshot().map([&](uint64_t k) { got.push_back(k); });
+  EXPECT_EQ(got, collect(oracle));
+  std::string err;
+  EXPECT_TRUE(d.serving().store().check_invariants(&err)) << err;
+}
+
+TYPED_TEST(Durable, TmpOrphansDeletedOnRecovery) {
+  MemVfs vfs;
+  vfs.mkdir("db");
+  Status st;
+  auto f = vfs.open_write("db/ckpt-9.tmp", /*truncate=*/true, &st);
+  ASSERT_TRUE(st.ok());
+  const uint8_t junk[4] = {1, 2, 3, 4};
+  ASSERT_TRUE(f->append(junk, 4).ok());
+  ASSERT_TRUE(f->sync().ok());
+  ASSERT_TRUE(vfs.sync_dir("db").ok());
+  DurablePMA<TypeParam> d(vfs, "db", test_settings(2, FsyncPolicy::kAlways));
+  EXPECT_FALSE(vfs.exists("db/ckpt-9.tmp"));
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TYPED_TEST(Durable, AsyncCheckpointIngestContinues) {
+  MemVfs vfs;
+  std::set<uint64_t> oracle;
+  {
+    DurablePMA<TypeParam> d(vfs, "db",
+                            test_settings(4, FsyncPolicy::kInterval));
+    std::vector<uint64_t> batch;
+    for (uint64_t i = 0; i < 5000; ++i) batch.push_back(key_at(i));
+    oracle.insert(batch.begin(), batch.end());
+    d.insert_batch(batch);
+    ASSERT_TRUE(d.checkpoint_async().ok());
+    // Ingest while the body writes in the background.
+    for (uint64_t i = 5000; i < 5500; ++i) {
+      d.insert(key_at(i));
+      oracle.insert(key_at(i));
+    }
+    ASSERT_TRUE(d.sync_wal().ok());
+    d.wait_checkpoint();
+    ASSERT_TRUE(d.last_checkpoint_status().ok());
+  }
+  vfs.crash(5);
+  DurablePMA<TypeParam> d(vfs, "db",
+                          test_settings(4, FsyncPolicy::kInterval));
+  EXPECT_EQ(d.size(), oracle.size());
+}
+
+TYPED_TEST(Durable, DurableLsnWatermark) {
+  MemVfs vfs;
+  DurablePMA<TypeParam> d(vfs, "db", test_settings(2, FsyncPolicy::kNever));
+  for (uint64_t i = 0; i < 100; ++i) d.insert(key_at(i));
+  d.serving().flush();               // logged (kNever: not synced)
+  EXPECT_EQ(d.durable_lsn(), 0u);    // nothing promised yet
+  ASSERT_TRUE(d.sync_wal().ok());
+  EXPECT_EQ(d.durable_lsn(), d.last_lsn());
+  EXPECT_GT(d.last_lsn(), 0u);
+}
+
+// A WAL that cannot write vetoes applies instead of letting unlogged
+// writes through.
+TEST(DurableVeto, FailedWalBlocksApply) {
+  MemVfs base;
+  // Recover against a clean base, then start failing every write.
+  FaultPlan plan;
+  plan.seed = 3;
+  FaultyVfs vfs(base, plan);
+  DurablePMA<cpma::CPMA> d(vfs, "db", test_settings(2, FsyncPolicy::kNever));
+  // Arm 100% write failure AFTER recovery (plan is copied at construction;
+  // rebuild a fully-failing vfs is not possible in place, so go through a
+  // second instance sharing the base).
+  FaultPlan fail_all;
+  fail_all.seed = 4;
+  fail_all.write_error_bp = 10'000;
+  FaultyVfs failing(base, fail_all);
+  DurablePMA<cpma::CPMA> d2(failing, "db2",
+                            test_settings(2, FsyncPolicy::kNever));
+  d2.insert(42);
+  d2.serving().flush();
+  EXPECT_FALSE(d2.has(42));  // vetoed, never applied
+  EXPECT_GT(d2.stats().wal_vetoes, 0u);
+  EXPECT_GT(d2.serving().stats().vetoed_ops, 0u);
+}
+
+// ---- backpressure ----------------------------------------------------------
+
+TEST(Backpressure, RejectPolicyFailsFastAndCounts) {
+  cpma::serve::ServingSettings s;
+  s.sharded.num_shards = 1;
+  s.queue_cap = 4;
+  s.admission = cpma::serve::Admission::kReject;
+  s.combine_batch = 1u << 30;  // never auto-combine
+  cpma::serve::ServingPMA<cpma::CPMA> serve(s);
+  for (uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(serve.insert(i + 1));
+  EXPECT_FALSE(serve.insert(99));
+  EXPECT_FALSE(serve.try_insert(100));
+  auto qs = serve.serving_stats();
+  ASSERT_EQ(qs.size(), 1u);
+  EXPECT_EQ(qs[0].depth, 4u);
+  EXPECT_EQ(qs[0].rejected, 2u);
+  serve.flush();  // drain
+  EXPECT_TRUE(serve.insert(99));
+  EXPECT_EQ(serve.serving_stats()[0].depth, 1u);
+}
+
+TEST(Backpressure, BlockPolicyDrainsViaVolunteerCombine) {
+  cpma::serve::ServingSettings s;
+  s.sharded.num_shards = 1;
+  s.queue_cap = 2;
+  s.admission = cpma::serve::Admission::kBlock;
+  s.block_deadline_ns = 1'000'000'000;
+  s.combine_batch = 1u << 30;
+  s.publish_eager = true;
+  cpma::serve::ServingPMA<cpma::CPMA> serve(s);
+  // Every insert past the cap blocks briefly, volunteers as the combiner,
+  // drains the queue, and gets admitted — no op is ever lost.
+  for (uint64_t i = 0; i < 50; ++i) EXPECT_TRUE(serve.insert(i + 1));
+  serve.flush();
+  EXPECT_EQ(serve.size(), 50u);
+  auto qs = serve.serving_stats();
+  EXPECT_GT(qs[0].blocked, 0u);
+  EXPECT_EQ(qs[0].rejected, 0u);
+}
+
+TEST(Backpressure, UnboundedByDefault) {
+  cpma::serve::ServingSettings s;
+  s.sharded.num_shards = 1;
+  s.combine_batch = 1u << 30;
+  if (s.queue_cap != 0) GTEST_SKIP() << "CPMA_SERVE_QUEUE_CAP set in env";
+  cpma::serve::ServingPMA<cpma::CPMA> serve(s);
+  for (uint64_t i = 0; i < 10'000; ++i) ASSERT_TRUE(serve.insert(i + 1));
+  EXPECT_EQ(serve.serving_stats()[0].depth, 10'000u);
+  serve.flush();
+  EXPECT_EQ(serve.size(), 10'000u);
+}
+
+// ---- epoch participant overflow -------------------------------------------
+
+TEST(EpochOverflow, SharedSlotIsConservativeAndReleases) {
+  cpma::serve::EpochManager mgr(1);  // force almost every thread to overflow
+  std::atomic<uint64_t> pinned{0};
+  std::atomic<bool> release{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto g = mgr.pin();
+      auto nested = mgr.pin();  // nested overflow pins must refcount
+      pinned.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (pinned.load() < 4) std::this_thread::yield();
+  const uint64_t pinned_epoch = mgr.min_active();
+  // At least 3 of the 4 threads exceeded capacity 1.
+  EXPECT_GE(mgr.overflow_pins(), 3u);
+  // Advancing the epoch must NOT advance min_active past the held pins.
+  mgr.advance();
+  mgr.advance();
+  EXPECT_EQ(mgr.min_active(), pinned_epoch);
+  release.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mgr.overflow_pins(), 0u);
+  EXPECT_EQ(mgr.min_active(), mgr.current());
+}
+
+TEST(EpochOverflow, ServingSurvivesMoreThreadsThanSlots) {
+  // An EpochManager capacity below the thread count must still serve
+  // correct snapshots (this is the >kMaxParticipants scenario scaled down;
+  // ServingPMA uses the default capacity, EpochManager the mechanism).
+  cpma::serve::EpochManager mgr(2);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 6; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto g = mgr.pin();
+        (void)mgr.min_active();
+      }
+    });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    mgr.advance();
+    EXPECT_LE(mgr.min_active(), mgr.current());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+}
+
+}  // namespace
