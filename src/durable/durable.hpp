@@ -128,6 +128,8 @@ class DurablePMA : private serve::WriteObserver {
   using key_type = uint64_t;
   using engine_type = Engine;
   using Serving = serve::ServingPMA<Engine>;
+  using View = typename Serving::View;
+  using Snapshot = typename Serving::Snapshot;
 
   // Opens (and recovers) the store rooted at `dir` inside `vfs`. Both must
   // outlive the object. Recovery accounting lands in recovery_report().

@@ -160,6 +160,46 @@ std::vector<vertex_t> connected_components(G& g) {
 }
 
 // ---------------------------------------------------------------------------
+// BFS: frontier traversal through edge_map; returns the depth of every
+// vertex from `source` (-1 = unreachable). The paper's topology-order
+// kernel in its simplest form, and the differential-test workhorse — depths
+// are deterministic, so any two containers must agree exactly.
+// ---------------------------------------------------------------------------
+
+template <typename G>
+std::vector<int32_t> bfs(G& g, vertex_t source) {
+  g.prepare();
+  const vertex_t n = g.num_vertices();
+  std::vector<std::atomic<int32_t>> depth(n);
+  par::parallel_for(0, n, [&](uint64_t v) {
+    depth[v].store(-1, std::memory_order_relaxed);
+  });
+  depth[source].store(0, std::memory_order_relaxed);
+
+  VertexSubset frontier = VertexSubset::single(n, source);
+  int32_t d = 0;
+  while (!frontier.empty()) {
+    frontier = edge_map(
+        g, frontier,
+        [&](vertex_t, vertex_t v) {
+          int32_t expected = -1;
+          return depth[v].compare_exchange_strong(expected, d + 1,
+                                                  std::memory_order_relaxed);
+        },
+        [&](vertex_t v) {
+          return depth[v].load(std::memory_order_relaxed) == -1;
+        });
+    ++d;
+  }
+
+  std::vector<int32_t> out(n);
+  par::parallel_for(0, n, [&](uint64_t v) {
+    out[v] = depth[v].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // Betweenness Centrality from a single source (Brandes). The forward phase
 // is a frontier BFS through edge_map (topology-order traversal); sigma
 // counts are then computed per level with a pull pass (no atomics), and the

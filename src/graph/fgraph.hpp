@@ -1,14 +1,18 @@
-// F-Graph: the paper's dynamic-graph system built on a SINGLE CPMA.
+// F-Graph: the paper's dynamic-graph system built on one edge-key set.
 //
 // The whole graph lives in one compressed array of (src<<32)|dst edge keys —
 // no vertex array, no per-vertex trees, no pointers. Neighborhoods are
 // contiguous runs of the sorted key space; the vertex index (first-edge
-// position + rank per vertex) is an acceleration structure rebuilt after
-// updates, exactly the protocol Section 6 describes ("this experiment
-// rebuilds the vertex array with each run of the algorithm").
+// position + rank per vertex, graph/vertex_index.hpp) is an acceleration
+// structure rebuilt after updates, exactly the protocol Section 6 describes
+// ("this experiment rebuilds the vertex array with each run of the
+// algorithm").
 //
-// Batch updates go straight to CPMA::insert_batch / remove_batch, which is
-// where F-Graph inherits the paper's parallel batch-update algorithm.
+// Batch updates go straight to Set::insert_batch / remove_batch, which is
+// where F-Graph inherits the paper's parallel batch-update algorithm. Set
+// can be a single engine (CPMA/PMA) or a ShardedPMA — the sharded store
+// exposes the same flattened-leaf surface (pma/flat_leaves.hpp). For
+// serving-layer stores with concurrent readers, see graph/streaming.hpp.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +20,7 @@
 #include <vector>
 
 #include "graph/edge.hpp"
-#include "parallel/scan.hpp"
+#include "graph/vertex_index.hpp"
 #include "parallel/scheduler.hpp"
 #include "pma/cpma.hpp"
 
@@ -38,12 +42,12 @@ class FGraphT {
   // Inserts a batch of directed edge keys (duplicates allowed); returns the
   // number of new edges.
   uint64_t insert_edges(std::vector<uint64_t> edges) {
-    index_valid_ = false;
+    index_.invalidate();
     return edges_.insert_batch(edges.data(), edges.size());
   }
 
   uint64_t remove_edges(std::vector<uint64_t> edges) {
-    index_valid_ = false;
+    index_.invalidate();
     return edges_.remove_batch(edges.data(), edges.size());
   }
 
@@ -51,112 +55,19 @@ class FGraphT {
     return edges_.has(edge_key(u, v));
   }
 
-  // Rebuilds the vertex index (first-edge position + edge rank per vertex).
-  // Algorithms call prepare(); its cost is part of algorithm time, as in the
-  // paper's evaluation.
-  void prepare() {
-    first_.resize(n_);
-    rank_.resize(static_cast<size_t>(n_) + 1);
-    has_edges_.resize(n_);
-    par::parallel_for(0, n_, [&](uint64_t v) {
-      rank_[v] = kNoRank;
-      has_edges_[v] = 0;
-    });
-    rank_[n_] = kNoRank;
-    const uint64_t leaves = edges_.num_leaves();
-    // Rank offset of each leaf.
-    std::vector<uint64_t> offsets(leaves);
-    par::parallel_for(0, leaves, [&](uint64_t l) {
-      offsets[l] = edges_.leaf_element_count(l);
-    }, 8);
-    uint64_t total = par::exclusive_scan_inplace(offsets);
-    // Per-leaf: record vertex starts at src changes inside the leaf, plus
-    // the position of each leaf's first key; the first key starts a vertex
-    // iff the previous nonempty leaf ended with a different src (stitched
-    // below with no rescanning).
-    std::vector<uint64_t> first_src(leaves, kNoVertex);
-    std::vector<uint64_t> last_src(leaves, kNoVertex);
-    std::vector<typename Set::Position> first_pos(leaves);
-    par::parallel_for(0, leaves, [&](uint64_t l) {
-      uint64_t idx = 0;
-      uint64_t prev_src = kNoVertex;
-      edges_.scan_leaf_positions(l, [&](typename Set::Position pos,
-                                        uint64_t key) {
-        vertex_t src = edge_src(key);
-        if (idx == 0) {
-          first_src[l] = src;
-          first_pos[l] = pos;
-        }
-        if (prev_src != kNoVertex && src != prev_src) {
-          first_[src] = pos;
-          rank_[src] = offsets[l] + idx;
-          has_edges_[src] = 1;
-        }
-        prev_src = src;
-        last_src[l] = src;
-        ++idx;
-      });
-    }, 4);
-    // Stitch leaf boundaries: a leaf's first key starts its vertex iff no
-    // earlier nonempty leaf ended with the same src.
-    uint64_t prev = kNoVertex;
-    for (uint64_t l = 0; l < leaves; ++l) {
-      if (first_src[l] == kNoVertex) continue;  // empty leaf
-      if (first_src[l] != prev) {
-        vertex_t src = static_cast<vertex_t>(first_src[l]);
-        first_[src] = first_pos[l];
-        rank_[src] = offsets[l];
-        has_edges_[src] = 1;
-      }
-      prev = last_src[l];
-    }
-    // Degrees: distance between consecutive ranks (reverse chunked carry so
-    // the O(n) pass is parallel).
-    rank_[n_] = total;
-    degree_.resize(n_);
-    const uint64_t chunk = 8192;
-    const uint64_t num_chunks = (n_ + chunk - 1) / chunk;
-    std::vector<uint64_t> chunk_first_rank(num_chunks + 1, total);
-    par::parallel_for(0, num_chunks, [&](uint64_t c) {
-      uint64_t lo = c * chunk, hi = std::min<uint64_t>(n_, lo + chunk);
-      for (uint64_t v = lo; v < hi; ++v) {
-        if (has_edges_[v]) {
-          chunk_first_rank[c] = rank_[v];
-          break;
-        }
-      }
-    }, 1);
-    // Backward carry: first set rank at or after each chunk's end.
-    std::vector<uint64_t> carry(num_chunks, total);
-    uint64_t run = total;
-    for (uint64_t c = num_chunks; c-- > 0;) {
-      carry[c] = run;
-      if (chunk_first_rank[c] != total) run = chunk_first_rank[c];
-    }
-    par::parallel_for(0, num_chunks, [&](uint64_t c) {
-      uint64_t lo = c * chunk, hi = std::min<uint64_t>(n_, lo + chunk);
-      uint64_t next_rank = carry[c];
-      for (uint64_t v = hi; v-- > lo;) {
-        if (has_edges_[v]) {
-          degree_[v] = next_rank - rank_[v];
-          next_rank = rank_[v];
-        } else {
-          degree_[v] = 0;
-        }
-      }
-    }, 1);
-    index_valid_ = true;
-  }
+  // Rebuilds the vertex index. Algorithms call prepare(); its cost is part
+  // of algorithm time, as in the paper's evaluation.
+  void prepare() { index_.build(edges_, n_); }
 
-  uint64_t degree(vertex_t v) const { return degree_[v]; }
+  uint64_t degree(vertex_t v) const { return index_.degree(v); }
 
   // Applies f(dst) to v's neighbors in ascending order. Requires prepare().
   template <typename F>
   void map_neighbors(vertex_t v, F&& f) const {
-    if (!has_edges_[v]) return;
+    if (!index_.has_edges(v)) return;
     // Last key of v's range (avoids vertex_t overflow at v = 2^32 - 1).
     const uint64_t hi = (static_cast<uint64_t>(v) << 32) | 0xffffffffull;
-    edges_.map_from_position(first_[v], [&](uint64_t key) {
+    edges_.map_from_position(index_.first(v), [&](uint64_t key) {
       if (key > hi) return false;
       f(edge_dst(key));
       return true;
@@ -206,25 +117,16 @@ class FGraphT {
 
   // Index memory is an acceleration structure; report it separately so the
   // space tables can show both (the paper reports graph storage).
-  uint64_t get_index_size() const {
-    return first_.capacity() * sizeof(typename Set::Position) +
-           rank_.capacity() * 8 + degree_.capacity() * 8 +
-           has_edges_.capacity();
-  }
+  uint64_t get_index_size() const { return index_.bytes(); }
 
   const Set& edge_set() const { return edges_; }
 
  private:
   static constexpr uint64_t kNoVertex = ~uint64_t{0};
-  static constexpr uint64_t kNoRank = ~uint64_t{0};
 
   vertex_t n_;
   Set edges_;
-  bool index_valid_ = false;
-  std::vector<typename Set::Position> first_;
-  std::vector<uint64_t> rank_;
-  std::vector<uint64_t> degree_;
-  std::vector<uint8_t> has_edges_;
+  VertexIndex<Set> index_;
 };
 
 using FGraph = FGraphT<cpma::CPMA>;

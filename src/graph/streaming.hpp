@@ -1,0 +1,246 @@
+// Streaming dynamic-graph engine on the sharded serving CPMA.
+//
+// The edge set is (src<<32)|dst keys in a ServingPMA (or DurablePMA):
+// edges shard naturally by source vertex, batches ingest through the
+// flat-combining / backpressured front end, and analytics run against an
+// epoch-pinned SnapshotView — readers never block ingest and never see a
+// half-applied batch. This is the paper's F-Graph protocol lifted onto
+// the serving layer: instead of "stop the world, rebuild the vertex
+// array", an algorithm pins the current published view, builds its vertex
+// index over that immutable picture (positions stay valid for the life of
+// the pin), and runs to completion while the writer keeps publishing.
+//
+// Layering:
+//   StreamingGraph<Serve>      mutable front: insert/remove edge batches,
+//                              streaming connectivity (concurrent
+//                              union-find updated per batch)
+//   StreamingGraph::Snapshot   one pinned view + a vertex index built over
+//                              it; satisfies the full graph concept
+//                              (prepare / degree / map_neighbors /
+//                              scan_neighbor_runs), so bfs / pagerank /
+//                              connected_components / betweenness run
+//                              unchanged via the Ligra shim
+//
+// Staleness is first-class: every snapshot knows which publish it pinned
+// (seq()) and how old that view is (age_ns()), so a monitoring loop can
+// report "the running PageRank is N ms behind the ingest front".
+//
+// Connectivity caveats: the union-find is monotone, so remove_edges()
+// marks it stale (connected() becomes an over-approximation) until
+// rebuild_connectivity() re-derives it from a pinned snapshot. If a write
+// observer (WAL down) vetoes a batch the union-find may also
+// over-approximate — exactness is tracked by connectivity_exact().
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/edge.hpp"
+#include "graph/union_find.hpp"
+#include "graph/vertex_index.hpp"
+#include "parallel/scheduler.hpp"
+#include "pma/cpma.hpp"
+
+namespace cpma::graph {
+
+// An immutable graph over one epoch-pinned serving snapshot. Copies of the
+// pin are not allowed (Snapshot is move-only via the underlying guard);
+// keep it only as long as the algorithm runs — a held pin delays
+// reclamation of every view published since.
+template <typename Serve>
+class StreamingGraphSnapshot {
+ public:
+  using View = typename Serve::View;
+
+  StreamingGraphSnapshot(typename Serve::Snapshot snap, vertex_t n)
+      : snap_(std::move(snap)), n_(n) {}
+
+  vertex_t num_vertices() const { return n_; }
+  uint64_t num_edges() const { return snap_.size(); }
+  bool has_edge(vertex_t u, vertex_t v) const {
+    return snap_.has(edge_key(u, v));
+  }
+
+  // Staleness of this pinned view relative to the ingest front.
+  uint64_t seq() const { return snap_.publish_seq(); }
+  uint64_t age_ns() const { return snap_.age_ns(); }
+
+  // Builds the vertex index over the pinned view. Unlike the mutable
+  // F-Graph, positions cannot be invalidated while the pin is held, so one
+  // build serves any number of algorithm runs on this snapshot.
+  void prepare() {
+    if (!index_.valid()) index_.build(snap_.view(), n_);
+  }
+
+  uint64_t degree(vertex_t v) const { return index_.degree(v); }
+
+  // Applies f(dst) to v's neighbors in ascending order. Requires prepare().
+  template <typename F>
+  void map_neighbors(vertex_t v, F&& f) const {
+    if (!index_.has_edges(v)) return;
+    const uint64_t hi = (static_cast<uint64_t>(v) << 32) | 0xffffffffull;
+    snap_.view().map_from_position(index_.first(v), [&](uint64_t key) {
+      if (key > hi) return false;
+      f(edge_dst(key));
+      return true;
+    });
+  }
+
+  // Flat arbitrary-order pass over the view's leaves (same contract as
+  // FGraphT::scan_neighbor_runs: emit must be commutative-associative).
+  // Needs no index, so PageRank/CC take this path straight off the pin.
+  template <typename T, typename Val, typename Combine, typename Emit>
+  void scan_neighbor_runs(T identity, Val&& val, Combine&& comb,
+                          Emit&& emit) const {
+    const View& view = snap_.view();
+    const uint64_t leaves = view.num_leaves();
+    par::parallel_for(0, leaves, [&](uint64_t l) {
+      uint64_t cur_src = kNoVertex;
+      T acc = identity;
+      view.scan_leaf_keys(l, [&](uint64_t key) {
+        uint64_t s = edge_src(key);
+        if (s != cur_src) {
+          if (cur_src != kNoVertex) {
+            emit(static_cast<vertex_t>(cur_src), acc);
+          }
+          cur_src = s;
+          acc = identity;
+        }
+        acc = comb(acc, val(edge_dst(key)));
+      });
+      if (cur_src != kNoVertex) emit(static_cast<vertex_t>(cur_src), acc);
+    }, 2);
+  }
+
+  // Materializes every edge key of the pinned cut in ascending order — the
+  // differential tests rebuild a CSR baseline from exactly this edge set.
+  std::vector<uint64_t> edge_keys() const {
+    std::vector<uint64_t> out;
+    out.reserve(snap_.size());
+    snap_.map([&](uint64_t key) { out.push_back(key); });
+    return out;
+  }
+
+  const typename Serve::Snapshot& pin() const { return snap_; }
+
+ private:
+  static constexpr uint64_t kNoVertex = ~uint64_t{0};
+
+  typename Serve::Snapshot snap_;
+  vertex_t n_;
+  VertexIndex<View> index_;
+};
+
+template <typename Serve = cpma::ServingCPMA>
+class StreamingGraph {
+ public:
+  using Snapshot = StreamingGraphSnapshot<Serve>;
+
+  // Extra args forward to the serving store's constructor: settings for
+  // ServingPMA, (vfs, dir, settings) for DurablePMA.
+  template <typename... Args>
+  explicit StreamingGraph(vertex_t num_vertices, Args&&... args)
+      : n_(num_vertices), serve_(std::forward<Args>(args)...),
+        cc_(num_vertices) {}
+
+  vertex_t num_vertices() const { return n_; }
+  uint64_t num_edges() const { return serve_.size(); }
+  bool has_edge(vertex_t u, vertex_t v) const {
+    return serve_.has(edge_key(u, v));
+  }
+
+  // ---- ingest (any thread) ------------------------------------------------
+
+  // Inserts a batch of directed edge keys through the serving batch path;
+  // returns the number of new edges. The streaming connectivity structure
+  // absorbs the batch before it is handed to the store.
+  uint64_t insert_edges(std::vector<uint64_t> edges) {
+    par::parallel_for(0, edges.size(), [&](uint64_t i) {
+      cc_.unite(edge_src(edges[i]), edge_dst(edges[i]));
+    }, 256);
+    return serve_.insert_batch(std::move(edges));
+  }
+
+  // Removals flow through the same batch path but CANNOT be reflected in
+  // the monotone union-find: connectivity goes stale until
+  // rebuild_connectivity().
+  uint64_t remove_edges(std::vector<uint64_t> edges) {
+    cc_stale_ = true;
+    return serve_.remove_batch(std::move(edges));
+  }
+
+  // Single-edge insert through the flat-combining point path. Returns
+  // whether the op was admitted (false only under a full bounded queue).
+  bool insert_edge(vertex_t u, vertex_t v) {
+    cc_.unite(u, v);
+    return serve_.insert(edge_key(u, v));
+  }
+
+  // Drain every ingest queue and publish (writer-path; see serving.hpp).
+  void flush() {
+    if constexpr (requires { serve_.flush(); }) {
+      serve_.flush();
+    } else {
+      serve_.serving().flush();
+    }
+  }
+
+  uint64_t poll() {
+    if constexpr (requires { serve_.poll(); }) {
+      return serve_.poll();
+    } else {
+      return serve_.serving().poll();
+    }
+  }
+
+  // ---- analytics (any thread, never blocks ingest) ------------------------
+
+  // Pins the current published view. bfs/pagerank/connected_components/
+  // betweenness_centrality run directly on the returned object.
+  Snapshot snapshot() const { return Snapshot(serve_.snapshot(), n_); }
+
+  // ---- streaming connectivity ---------------------------------------------
+
+  // O(alpha) connectivity query maintained incrementally per ingest batch —
+  // no snapshot, no traversal. Exact for insert-only histories (see
+  // connectivity_exact() for the staleness caveats).
+  bool connected(vertex_t u, vertex_t v) const { return cc_.same_set(u, v); }
+
+  // Component count over ALL n vertices (isolated vertices are singletons).
+  uint64_t num_components() const { return cc_.num_sets(); }
+
+  bool connectivity_exact() const { return !cc_stale_; }
+
+  // Re-derives the union-find from a pinned snapshot of the edge set,
+  // restoring exactness after removals. Safe concurrently with readers of
+  // snapshots, NOT with concurrent connected() queries (the reset races).
+  void rebuild_connectivity() {
+    Snapshot snap = snapshot();
+    cc_.reset(n_);
+    const auto& view = snap.pin().view();
+    const uint64_t leaves = view.num_leaves();
+    par::parallel_for(0, leaves, [&](uint64_t l) {
+      view.scan_leaf_keys(l, [&](uint64_t key) {
+        cc_.unite(edge_src(key), edge_dst(key));
+      });
+    }, 2);
+    cc_stale_ = false;
+  }
+
+  // ---- store access --------------------------------------------------------
+
+  Serve& serve() { return serve_; }
+  const Serve& serve() const { return serve_; }
+
+ private:
+  vertex_t n_;
+  Serve serve_;
+  ConcurrentUnionFind cc_;
+  bool cc_stale_ = false;
+};
+
+using StreamingGraphPMA = StreamingGraph<cpma::ServingPMA>;
+using StreamingGraphCPMA = StreamingGraph<cpma::ServingCPMA>;
+
+}  // namespace cpma::graph

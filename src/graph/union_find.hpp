@@ -1,0 +1,112 @@
+// Concurrent union-find for streaming connectivity.
+//
+// Wait-free-ish randomized concurrent DSU in the style of Jayanti–Tarjan
+// (PODC'16): an atomic parent array, path-splitting finds, and randomized
+// linking — each node carries a fixed hash-derived priority and a CAS
+// links the lower-priority root under the higher. Randomized linking
+// keeps expected path lengths O(log n) without the maintenance cost of
+// concurrent union-by-rank; path splitting compacts paths as a side
+// effect of every find.
+//
+// unite() is linearizable for insert-only workloads: concurrent unite
+// calls from the batch-ingest threads (graph/streaming.hpp) agree on one
+// winner per root pair via CAS, and num_sets() is maintained as
+// n - successful_unions, which is exact because components only merge.
+// Edge REMOVAL cannot be reflected (DSU is monotone) — the streaming
+// graph marks connectivity stale on removes and rebuilds from a snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+#include "util/random.hpp"
+
+namespace cpma::graph {
+
+class ConcurrentUnionFind {
+ public:
+  explicit ConcurrentUnionFind(uint64_t n) { reset(n); }
+
+  // Reinitializes to n singleton sets. NOT safe concurrently with finds.
+  void reset(uint64_t n) {
+    n_ = n;
+    parent_ = std::vector<std::atomic<uint64_t>>(n);
+    par::parallel_for(0, n, [&](uint64_t i) {
+      parent_[i].store(i, std::memory_order_relaxed);
+    });
+    unions_.store(0, std::memory_order_relaxed);
+  }
+
+  uint64_t size() const { return n_; }
+
+  // Current root of x with path splitting: each node on the path is
+  // re-pointed at its grandparent (benign CAS races just lose the
+  // compaction, never correctness).
+  uint64_t find(uint64_t x) const {
+    uint64_t p = parent_[x].load(std::memory_order_acquire);
+    while (p != x) {
+      uint64_t gp = parent_[p].load(std::memory_order_acquire);
+      if (gp == p) return p;
+      parent_[x].compare_exchange_weak(p, gp, std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+      x = p;
+      p = gp;
+    }
+    return p;
+  }
+
+  // Merges the sets of a and b; returns true iff this call performed the
+  // merge (they were in different sets and our CAS won).
+  bool unite(uint64_t a, uint64_t b) {
+    while (true) {
+      uint64_t ra = find(a);
+      uint64_t rb = find(b);
+      if (ra == rb) return false;
+      // Link lower priority under higher (index breaks priority ties) so
+      // concurrent linking cannot cycle and expected depth stays O(log n).
+      if (priority(ra) > priority(rb) ||
+          (priority(ra) == priority(rb) && ra > rb)) {
+        std::swap(ra, rb);
+      }
+      uint64_t expected = ra;
+      if (parent_[ra].compare_exchange_strong(expected, rb,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        unions_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // ra was linked elsewhere concurrently; retry from the new roots.
+    }
+  }
+
+  bool same_set(uint64_t a, uint64_t b) const {
+    while (true) {
+      uint64_t ra = find(a);
+      uint64_t rb = find(b);
+      if (ra == rb) return true;
+      // ra may have been linked since we found it; it is a root answer
+      // only if still its own parent (standard concurrent-DSU recheck).
+      if (parent_[ra].load(std::memory_order_acquire) == ra) return false;
+    }
+  }
+
+  // Exact for insert-only histories: components merge exactly once per
+  // successful unite, so set count is n minus successful unions.
+  uint64_t num_sets() const {
+    return n_ - unions_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Fixed per-node priority; hashing the index gives an effectively random
+  // permutation without storing per-node state.
+  static uint64_t priority(uint64_t x) { return util::hash64(x); }
+
+  uint64_t n_ = 0;
+  // mutable: find() is logically const but path-splits as a side effect.
+  mutable std::vector<std::atomic<uint64_t>> parent_;
+  std::atomic<uint64_t> unions_{0};
+};
+
+}  // namespace cpma::graph

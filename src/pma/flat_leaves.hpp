@@ -1,0 +1,100 @@
+// Flattened-leaf read API over a sharded composition.
+//
+// The engine exposes an "advanced iteration" surface — num_leaves /
+// leaf_element_count / scan_leaf_positions / scan_leaf_keys /
+// map_from_position — that the graph layer's vertex index is built on
+// (graph/vertex_index.hpp). A sharded composition (ShardedPMA, or the
+// serving layer's immutable SnapshotView) is S engines whose key ranges
+// are disjoint and ascending, so its leaves form one global sequence:
+// shard 0's leaves, then shard 1's, and so on, still in key order.
+//
+// FlatLeafOps implements that surface once for anything exposing
+// `num_shards()` and `shard(s) -> const Engine&`; ShardedPMA and
+// SnapshotView delegate their hooks here. A flat Position is
+// (shard, engine Position); like engine positions, it is invalidated by
+// ANY update — callers (the vertex index) rebuild after batches, or hold
+// an epoch pin over an immutable view.
+//
+// locate() walks the shard prefix per call — O(S) with S <= 64, noise next
+// to the leaf scan each call performs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+namespace cpma::pma {
+
+template <typename Engine>
+struct FlatPosition {
+  uint64_t shard = 0;
+  typename Engine::Position inner{};
+};
+
+template <typename C, typename Engine>
+struct FlatLeafOps {
+  using Position = FlatPosition<Engine>;
+
+  static uint64_t num_leaves(const C& c) {
+    uint64_t total = 0;
+    for (uint64_t s = 0; s < c.num_shards(); ++s) {
+      total += c.shard(s).num_leaves();
+    }
+    return total;
+  }
+
+  // Global leaf l -> (shard, local leaf).
+  static std::pair<uint64_t, uint64_t> locate(const C& c, uint64_t l) {
+    uint64_t s = 0;
+    while (l >= c.shard(s).num_leaves()) {
+      l -= c.shard(s).num_leaves();
+      ++s;
+    }
+    return {s, l};
+  }
+
+  static uint64_t leaf_element_count(const C& c, uint64_t l) {
+    const auto sl = locate(c, l);
+    return c.shard(sl.first).leaf_element_count(sl.second);
+  }
+
+  template <typename F>
+  static void scan_leaf_positions(const C& c, uint64_t l, F&& f) {
+    const auto sl = locate(c, l);
+    c.shard(sl.first).scan_leaf_positions(
+        sl.second, [&](typename Engine::Position pos, uint64_t key) {
+          f(Position{sl.first, pos}, key);
+        });
+  }
+
+  template <typename F>
+  static void scan_leaf_keys(const C& c, uint64_t l, F&& f) {
+    const auto sl = locate(c, l);
+    c.shard(sl.first).scan_leaf_keys(sl.second, f);
+  }
+
+  // Iterates keys from `pos` (inclusive) while f(key) returns true,
+  // continuing across leaf AND shard boundaries (shard ranges ascend, so
+  // the concatenation is global key order).
+  template <typename F>
+  static void map_from_position(const C& c, Position pos, F&& f) {
+    bool more = true;
+    auto wrapped = [&](uint64_t key) {
+      more = f(key);
+      return more;
+    };
+    c.shard(pos.shard).map_from_position(pos.inner, wrapped);
+    for (uint64_t s = pos.shard + 1; more && s < c.num_shards(); ++s) {
+      const Engine& e = c.shard(s);
+      const uint64_t leaves = e.num_leaves();
+      for (uint64_t l = 0; l < leaves; ++l) {
+        if (auto first = e.leaf_first_position(l)) {
+          e.map_from_position(*first, wrapped);
+          break;  // the engine continues to its own end internally
+        }
+      }
+    }
+  }
+};
+
+}  // namespace cpma::pma

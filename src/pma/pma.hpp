@@ -463,6 +463,17 @@ class PackedMemoryArray {
     });
   }
 
+  // First position of leaf l, or nullopt for an empty leaf. The sharded
+  // compositions use this to resume a cross-shard scan at the next shard's
+  // first key (pma/flat_leaves.hpp).
+  std::optional<Position> leaf_first_position(uint64_t l) const {
+    typename Leaf::Cursor cur;
+    if (!Leaf::cursor_begin(leaf_ptr(l), leaf_bytes_, cur)) {
+      return std::nullopt;
+    }
+    return Position{l, cur};
+  }
+
   // Iterates keys starting at `pos` (inclusive), continuing across leaves,
   // while f(key) returns true.
   template <typename F>

@@ -47,6 +47,7 @@
 
 #include "parallel/reduce.hpp"
 #include "parallel/scheduler.hpp"
+#include "pma/flat_leaves.hpp"
 #include "pma/pma.hpp"
 #include "util/uninitialized.hpp"
 
@@ -464,6 +465,38 @@ class ShardedPMA {
     const_iterator it(this);
     it.shard_ = shards_.size();
     return it;
+  }
+
+  // ---- flattened-leaf iteration (graph vertex index) ----------------------
+  // The engine's advanced-iteration surface, flattened across shards: global
+  // leaf l is shard 0's leaves, then shard 1's, ... (still key order, since
+  // shard ranges ascend). Positions are (shard, engine Position) and are
+  // invalidated by ANY update, exactly like engine positions — the graph
+  // layer rebuilds its vertex index after batches. This is what lets
+  // FGraphT<SCPMA> run the paper's graph suite on the sharded store.
+
+  using Position = FlatPosition<Engine>;
+  using FlatOps = FlatLeafOps<ShardedPMA, Engine>;
+
+  uint64_t num_leaves() const { return FlatOps::num_leaves(*this); }
+
+  uint64_t leaf_element_count(uint64_t l) const {
+    return FlatOps::leaf_element_count(*this, l);
+  }
+
+  template <typename F>
+  void scan_leaf_positions(uint64_t l, F&& f) const {
+    FlatOps::scan_leaf_positions(*this, l, std::forward<F>(f));
+  }
+
+  template <typename F>
+  void scan_leaf_keys(uint64_t l, F&& f) const {
+    FlatOps::scan_leaf_keys(*this, l, std::forward<F>(f));
+  }
+
+  template <typename F>
+  void map_from_position(Position pos, F&& f) const {
+    FlatOps::map_from_position(*this, pos, std::forward<F>(f));
   }
 
   // ---- introspection ------------------------------------------------------

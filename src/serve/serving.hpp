@@ -193,6 +193,13 @@ class ServingPMA {
     typename View::const_iterator end() const { return view_->end(); }
     const View& view() const { return *view_; }
 
+    // Which published view this pin holds, and how stale it is right now
+    // (both writer-clock based; seq is monotone across publishes).
+    uint64_t publish_seq() const { return view_->publish_seq(); }
+    uint64_t age_ns() const {
+      return steady_now_ns() - view_->publish_time_ns();
+    }
+
    private:
     friend class ServingPMA;
     Snapshot(EpochManager::Guard guard, const View* view)
@@ -481,7 +488,8 @@ class ServingPMA {
       }
     }
     holder_.publish(
-        std::make_unique<const View>(store_.splitters(), std::move(shards)),
+        std::make_unique<const View>(store_.splitters(), std::move(shards),
+                                     stats_.publishes + 1, steady_now_ns()),
         epochs_);
     ++stats_.publishes;
     stats_.publish_ns += t.lap();

@@ -28,8 +28,10 @@
 #include <iterator>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "pma/flat_leaves.hpp"
 #include "serve/epoch.hpp"
 
 namespace cpma::serve {
@@ -40,9 +42,15 @@ class SnapshotView {
   using key_type = uint64_t;
   using engine_type = Engine;
 
+  // publish_seq / publish_time_ns identify WHICH published view a reader is
+  // pinned to and WHEN it was cut (writer's steady clock): the streaming
+  // graph layer reports snapshot age/staleness from them. Both default to 0
+  // for directly-constructed views in tests.
   SnapshotView(std::vector<key_type> splitters,
-               std::vector<std::shared_ptr<const Engine>> shards)
-      : splitters_(std::move(splitters)), shards_(std::move(shards)) {}
+               std::vector<std::shared_ptr<const Engine>> shards,
+               uint64_t publish_seq = 0, uint64_t publish_time_ns = 0)
+      : splitters_(std::move(splitters)), shards_(std::move(shards)),
+        publish_seq_(publish_seq), publish_time_ns_(publish_time_ns) {}
 
   uint64_t num_shards() const { return shards_.size(); }
   const Engine& shard(uint64_t s) const { return *shards_[s]; }
@@ -50,6 +58,8 @@ class SnapshotView {
   const std::shared_ptr<const Engine>& shard_ref(uint64_t s) const {
     return shards_[s];
   }
+  uint64_t publish_seq() const { return publish_seq_; }
+  uint64_t publish_time_ns() const { return publish_time_ns_; }
 
   // ---- size ---------------------------------------------------------------
 
@@ -115,6 +125,35 @@ class SnapshotView {
       applied += shards_[s]->map_range_length(f, start, length - applied);
     }
     return applied;
+  }
+
+  // ---- flattened-leaf iteration (graph vertex index) ----------------------
+  // Same advanced-iteration surface as ShardedPMA, over the IMMUTABLE view:
+  // positions stay valid for the life of the epoch pin, so the graph layer
+  // builds a vertex index over a pinned snapshot while ingest continues.
+
+  using Position = pma::FlatPosition<Engine>;
+  using FlatOps = pma::FlatLeafOps<SnapshotView, Engine>;
+
+  uint64_t num_leaves() const { return FlatOps::num_leaves(*this); }
+
+  uint64_t leaf_element_count(uint64_t l) const {
+    return FlatOps::leaf_element_count(*this, l);
+  }
+
+  template <typename F>
+  void scan_leaf_positions(uint64_t l, F&& f) const {
+    FlatOps::scan_leaf_positions(*this, l, std::forward<F>(f));
+  }
+
+  template <typename F>
+  void scan_leaf_keys(uint64_t l, F&& f) const {
+    FlatOps::scan_leaf_keys(*this, l, std::forward<F>(f));
+  }
+
+  template <typename F>
+  void map_from_position(Position pos, F&& f) const {
+    FlatOps::map_from_position(*this, pos, std::forward<F>(f));
   }
 
   // ---- iteration ----------------------------------------------------------
@@ -189,6 +228,8 @@ class SnapshotView {
 
   std::vector<key_type> splitters_;
   std::vector<std::shared_ptr<const Engine>> shards_;
+  uint64_t publish_seq_ = 0;
+  uint64_t publish_time_ns_ = 0;
 };
 
 // Writer-owned view holder: one atomic current pointer, writer-only retired

@@ -1,0 +1,330 @@
+// Streaming-graph tests: concurrent union-find (unit + randomized
+// differential vs a sequential DSU + real threads), and the differential
+// backbone of the streaming engine — BFS / CC / PageRank on an
+// epoch-pinned snapshot must equal the same algorithms on a CSR rebuilt
+// from exactly that snapshot's edge cut, including while an ingest thread
+// keeps mutating the graph under the pin.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/csr.hpp"
+#include "graph/fgraph.hpp"
+#include "graph/generators.hpp"
+#include "graph/streaming.hpp"
+#include "graph/union_find.hpp"
+#include "util/random.hpp"
+
+using namespace cpma::graph;
+
+namespace {
+
+// Sequential DSU reference (path compression + union by size).
+class SeqDsu {
+ public:
+  explicit SeqDsu(uint64_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), uint64_t{0});
+  }
+  uint64_t find(uint64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(uint64_t a, uint64_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+  uint64_t num_sets() {
+    uint64_t c = 0;
+    for (uint64_t i = 0; i < parent_.size(); ++i) c += find(i) == i;
+    return c;
+  }
+ private:
+  std::vector<uint64_t> parent_, size_;
+};
+
+cpma::serve::ServingSettings eager_settings(uint64_t shards) {
+  cpma::serve::ServingSettings s;
+  s.sharded.num_shards = shards;
+  s.publish_eager = true;
+  return s;
+}
+
+TEST(UnionFind, Basic) {
+  ConcurrentUnionFind uf(8);
+  EXPECT_EQ(uf.num_sets(), 8u);
+  EXPECT_FALSE(uf.same_set(0, 1));
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));  // already joined
+  EXPECT_TRUE(uf.same_set(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_TRUE(uf.same_set(1, 2));
+  EXPECT_EQ(uf.num_sets(), 5u);  // {0,1,2,3} + four singletons
+  uf.reset(8);
+  EXPECT_EQ(uf.num_sets(), 8u);
+  EXPECT_FALSE(uf.same_set(0, 1));
+}
+
+TEST(UnionFind, RandomizedVsSequentialDsu) {
+  const uint64_t n = 500;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    ConcurrentUnionFind uf(n);
+    SeqDsu ref(n);
+    for (uint64_t i = 0; i < 2000; ++i) {
+      uint64_t a = cpma::util::hash64(seed * 10007 + 2 * i) % n;
+      uint64_t b = cpma::util::hash64(seed * 10007 + 2 * i + 1) % n;
+      EXPECT_EQ(uf.unite(a, b), ref.unite(a, b));
+      if (i % 97 == 0) {
+        uint64_t x = cpma::util::hash64(i) % n;
+        uint64_t y = cpma::util::hash64(i + 1) % n;
+        EXPECT_EQ(uf.same_set(x, y), ref.find(x) == ref.find(y));
+      }
+    }
+    EXPECT_EQ(uf.num_sets(), ref.num_sets());
+  }
+}
+
+TEST(UnionFind, ConcurrentUnitesMatchSequential) {
+  const uint64_t n = 2000;
+  const int threads = 4;
+  std::vector<uint64_t> pairs(2 * 6000);
+  for (uint64_t i = 0; i < pairs.size(); ++i) {
+    pairs[i] = cpma::util::hash64(i ^ 0xabcdef) % n;
+  }
+  ConcurrentUnionFind uf(n);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      for (uint64_t i = t; i < pairs.size() / 2; i += threads) {
+        uf.unite(pairs[2 * i], pairs[2 * i + 1]);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  SeqDsu ref(n);
+  for (uint64_t i = 0; i < pairs.size() / 2; ++i) {
+    ref.unite(pairs[2 * i], pairs[2 * i + 1]);
+  }
+  EXPECT_EQ(uf.num_sets(), ref.num_sets());
+  for (uint64_t i = 0; i < 500; ++i) {
+    uint64_t x = cpma::util::hash64(i) % n, y = cpma::util::hash64(~i) % n;
+    EXPECT_EQ(uf.same_set(x, y), ref.find(x) == ref.find(y));
+  }
+}
+
+// Quiescent differential: algorithms on a pinned snapshot equal the same
+// algorithms on a CSR built from that snapshot's materialized edge cut.
+TEST(StreamingGraph, SnapshotMatchesCsrQuiescent) {
+  const uint32_t scale = 10;
+  const vertex_t n = 1u << scale;
+  auto edges = symmetrize(rmat_edges(scale, 6000, 7));
+  StreamingGraphCPMA g(n, eager_settings(4));
+  g.insert_edges(edges);
+  g.flush();
+
+  auto snap = g.snapshot();
+  Csr csr(n, snap.edge_keys());
+  EXPECT_EQ(snap.num_edges(), csr.num_edges());
+
+  auto d_s = bfs(snap, 1);
+  auto d_c = bfs(csr, 1);
+  ASSERT_EQ(d_s.size(), d_c.size());
+  for (vertex_t v = 0; v < n; ++v) EXPECT_EQ(d_s[v], d_c[v]) << "v=" << v;
+
+  auto cc_s = connected_components(snap);
+  auto cc_c = connected_components(csr);
+  for (vertex_t v = 0; v < n; ++v) EXPECT_EQ(cc_s[v], cc_c[v]) << "v=" << v;
+
+  // Snapshot PR uses the flat run-scan (atomic adds, nondeterministic
+  // order); CSR takes the pull path — compare within fp-reassociation slop.
+  auto pr_s = pagerank(snap);
+  auto pr_c = pagerank(csr);
+  for (vertex_t v = 0; v < n; ++v) EXPECT_NEAR(pr_s[v], pr_c[v], 1e-12);
+
+  auto bc_s = betweenness_centrality(snap, 1);
+  auto bc_c = betweenness_centrality(csr, 1);
+  for (vertex_t v = 0; v < n; ++v) EXPECT_NEAR(bc_s[v], bc_c[v], 1e-9);
+}
+
+// Snapshot isolation: a pinned snapshot is a frozen cut — its edge count,
+// BFS, and CC stay byte-identical to a CSR of that cut while a live ingest
+// thread pushes batches underneath it, and never reflect any later batch.
+TEST(StreamingGraph, SnapshotIsolationUnderConcurrentIngest) {
+  const uint32_t scale = 10;
+  const vertex_t n = 1u << scale;
+  StreamingGraphCPMA g(n, eager_settings(4));
+  g.insert_edges(symmetrize(rmat_edges(scale, 4000, 11)));
+  g.flush();
+
+  auto snap = g.snapshot();
+  const uint64_t pinned_edges = snap.num_edges();
+  Csr csr(n, snap.edge_keys());
+
+  std::atomic<bool> stop{false};
+  std::thread ingest([&] {
+    uint64_t round = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      g.insert_edges(symmetrize(rmat_edges(scale, 500, 1000 + round++)));
+      g.flush();
+    }
+  });
+
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(snap.num_edges(), pinned_edges);
+    auto d_s = bfs(snap, 1);
+    auto d_c = bfs(csr, 1);
+    for (vertex_t v = 0; v < n; ++v) ASSERT_EQ(d_s[v], d_c[v]);
+    auto cc_s = connected_components(snap);
+    auto cc_c = connected_components(csr);
+    for (vertex_t v = 0; v < n; ++v) ASSERT_EQ(cc_s[v], cc_c[v]);
+  }
+  stop.store(true);
+  ingest.join();
+
+  // The live graph moved on; a fresh snapshot sees at least the pinned cut.
+  auto fresh = g.snapshot();
+  EXPECT_GE(fresh.num_edges(), pinned_edges);
+  EXPECT_GE(fresh.seq(), snap.seq());
+}
+
+// Streaming connectivity (incremental union-find) agrees with CC computed
+// from a snapshot, across multiple ingest batches.
+TEST(StreamingGraph, IncrementalConnectivityMatchesSnapshotCc) {
+  const uint32_t scale = 10;
+  const vertex_t n = 1u << scale;
+  StreamingGraphCPMA g(n, eager_settings(4));
+  for (uint64_t batch = 0; batch < 4; ++batch) {
+    g.insert_edges(symmetrize(rmat_edges(scale, 1500, 31 + batch)));
+    g.flush();
+    EXPECT_TRUE(g.connectivity_exact());
+
+    auto snap = g.snapshot();
+    auto labels = connected_components(snap);
+    std::vector<uint8_t> seen(n, 0);
+    uint64_t comps = 0;
+    for (vertex_t v = 0; v < n; ++v) {
+      if (!seen[labels[v]]) {
+        seen[labels[v]] = 1;
+        ++comps;
+      }
+    }
+    EXPECT_EQ(g.num_components(), comps);
+    for (uint64_t q = 0; q < 200; ++q) {
+      vertex_t a = cpma::util::hash64(q) % n;
+      vertex_t b = cpma::util::hash64(q ^ 0x5555) % n;
+      EXPECT_EQ(g.connected(a, b), labels[a] == labels[b]);
+    }
+  }
+}
+
+// Removals stale the monotone union-find; rebuild_connectivity() re-derives
+// it from a snapshot and restores exactness.
+TEST(StreamingGraph, RemovalStalesConnectivityUntilRebuild) {
+  const vertex_t n = 16;
+  StreamingGraphCPMA g(n, eager_settings(2));
+  // A path 0-1-2-3, plus an isolated pair 8-9.
+  g.insert_edges(symmetrize({edge_key(0, 1), edge_key(1, 2), edge_key(2, 3),
+                             edge_key(8, 9)}));
+  g.flush();
+  EXPECT_TRUE(g.connected(0, 3));
+  EXPECT_TRUE(g.connectivity_exact());
+
+  g.remove_edges(symmetrize({edge_key(1, 2)}));
+  g.flush();
+  EXPECT_FALSE(g.connectivity_exact());
+  EXPECT_TRUE(g.connected(0, 3));  // over-approximation while stale
+
+  g.rebuild_connectivity();
+  EXPECT_TRUE(g.connectivity_exact());
+  EXPECT_FALSE(g.connected(0, 3));
+  EXPECT_TRUE(g.connected(0, 1));
+  EXPECT_TRUE(g.connected(2, 3));
+  EXPECT_TRUE(g.connected(8, 9));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+// Snapshot staleness metadata: seq advances across publishes and age is
+// measured from the publish instant.
+TEST(StreamingGraph, SnapshotStalenessMetadata) {
+  StreamingGraphCPMA g(64, eager_settings(2));
+  g.insert_edges(symmetrize({edge_key(1, 2)}));
+  g.flush();
+  auto s1 = g.snapshot();
+  g.insert_edges(symmetrize({edge_key(2, 3)}));
+  g.flush();
+  auto s2 = g.snapshot();
+  EXPECT_GT(s1.seq(), 0u);
+  EXPECT_GT(s2.seq(), s1.seq());
+  EXPECT_LT(s2.age_ns(), uint64_t{60} * 1000 * 1000 * 1000);
+}
+
+// The F-Graph protocol generalizes to the sharded store: FGraphT<SCPMA>
+// must agree with the single-engine FGraph on the whole algorithm suite.
+TEST(StreamingGraph, ShardedFGraphMatchesSingleEngine) {
+  const uint32_t scale = 10;
+  const vertex_t n = 1u << scale;
+  auto edges = symmetrize(rmat_edges(scale, 5000, 99));
+  FGraph single(n, edges);
+  FGraphT<cpma::SCPMA> sharded(n, edges);
+  EXPECT_EQ(single.num_edges(), sharded.num_edges());
+
+  auto d_1 = bfs(single, 1);
+  auto d_s = bfs(sharded, 1);
+  for (vertex_t v = 0; v < n; ++v) EXPECT_EQ(d_1[v], d_s[v]);
+
+  auto cc_1 = connected_components(single);
+  auto cc_s = connected_components(sharded);
+  for (vertex_t v = 0; v < n; ++v) EXPECT_EQ(cc_1[v], cc_s[v]);
+
+  auto pr_1 = pagerank(single);
+  auto pr_s = pagerank(sharded);
+  for (vertex_t v = 0; v < n; ++v) EXPECT_NEAR(pr_1[v], pr_s[v], 1e-12);
+}
+
+// Algorithms on a snapshot while a SECOND algorithm thread runs on its own
+// pin: two concurrent readers, one writer, no interference.
+TEST(StreamingGraph, TwoReadersOneWriter) {
+  const uint32_t scale = 9;
+  const vertex_t n = 1u << scale;
+  StreamingGraphCPMA g(n, eager_settings(4));
+  g.insert_edges(symmetrize(rmat_edges(scale, 3000, 5)));
+  g.flush();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t round = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      g.insert_edges(symmetrize(rmat_edges(scale, 200, 7000 + round++)));
+      g.flush();
+    }
+  });
+  auto reader = [&] {
+    for (int i = 0; i < 3; ++i) {
+      auto snap = g.snapshot();
+      Csr csr(n, snap.edge_keys());
+      auto d_s = bfs(snap, 0);
+      auto d_c = bfs(csr, 0);
+      for (vertex_t v = 0; v < n; ++v) ASSERT_EQ(d_s[v], d_c[v]);
+    }
+  };
+  std::thread r1(reader), r2(reader);
+  r1.join();
+  r2.join();
+  stop.store(true);
+  writer.join();
+}
+
+}  // namespace
