@@ -1,6 +1,11 @@
 // Google-benchmark microbenchmarks for the point-operation layer: insert,
-// membership, successor, and leaf codec throughput for both PMA and CPMA.
-// Complements the table-shaped harnesses with stable ns/op numbers.
+// sum, and leaf codec throughput for both PMA and CPMA. Complements the
+// table-shaped harnesses with stable ns/op numbers.
+//
+// The point-QUERY rows (has / successor) moved to bench_point_query, which
+// emits tracked RESULT lines (snapshot BENCH_point_query.json, compared in
+// CI) and adds the batched forms plus zipf/recent scenarios — this binary
+// keeps only the rows with no RESULT-protocol twin.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -26,26 +31,6 @@ void BM_PointInsert(benchmark::State& state) {
   uint64_t i = 1'000'000'000;
   for (auto _ : state) {
     s.insert(cpma::util::uniform_key(2, i++));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-template <typename S>
-void BM_Has(benchmark::State& state) {
-  auto s = build<S>(static_cast<uint64_t>(state.range(0)), 3);
-  uint64_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(s.has(cpma::util::uniform_key(3, i++ % 100000)));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-
-template <typename S>
-void BM_Successor(benchmark::State& state) {
-  auto s = build<S>(static_cast<uint64_t>(state.range(0)), 4);
-  uint64_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(s.successor(cpma::util::uniform_key(5, i++)));
   }
   state.SetItemsProcessed(state.iterations());
 }
@@ -86,10 +71,6 @@ void BM_VarintEncodeDecode(benchmark::State& state) {
 
 BENCHMARK_TEMPLATE(BM_PointInsert, cpma::PMA)->Arg(100000)->Arg(1000000);
 BENCHMARK_TEMPLATE(BM_PointInsert, cpma::CPMA)->Arg(100000)->Arg(1000000);
-BENCHMARK_TEMPLATE(BM_Has, cpma::PMA)->Arg(1000000);
-BENCHMARK_TEMPLATE(BM_Has, cpma::CPMA)->Arg(1000000);
-BENCHMARK_TEMPLATE(BM_Successor, cpma::PMA)->Arg(1000000);
-BENCHMARK_TEMPLATE(BM_Successor, cpma::CPMA)->Arg(1000000);
 BENCHMARK_TEMPLATE(BM_Sum, cpma::PMA)->Arg(1000000);
 BENCHMARK_TEMPLATE(BM_Sum, cpma::CPMA)->Arg(1000000);
 BENCHMARK(BM_VarintEncodeDecode);

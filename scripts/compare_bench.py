@@ -25,8 +25,10 @@ import os
 import sys
 
 # Dimension keys that identify a record (when present) in addition to all
-# string-valued fields.
-ID_INT_KEYS = {"batch", "shards", "cores", "clients"}
+# string-valued fields. "len" separates the range-query rows, which differ
+# only in their expected range length; "batch" likewise separates the batched
+# point-query rows from each other.
+ID_INT_KEYS = {"batch", "shards", "cores", "clients", "len"}
 
 
 def record_id(record):

@@ -40,6 +40,7 @@
 #include "graph/union_find.hpp"
 #include "graph/vertex_index.hpp"
 #include "parallel/scheduler.hpp"
+#include "parallel/sort.hpp"
 #include "pma/cpma.hpp"
 
 namespace cpma::graph {
@@ -60,6 +61,17 @@ class StreamingGraphSnapshot {
   uint64_t num_edges() const { return snap_.size(); }
   bool has_edge(vertex_t u, vertex_t v) const {
     return snap_.has(edge_key(u, v));
+  }
+
+  // Amortized batch edge-existence over the pinned view: `keys` are SORTED
+  // edge keys (edge_key(u, v)); bit i of the result is set iff edge i is in
+  // this snapshot's cut. One routed pass, one decode per touched leaf —
+  // the bulk form of has_edge for triangle/motif-style probes.
+  std::vector<uint64_t> has_edges(const uint64_t* keys, uint64_t n) const {
+    return snap_.has_batch(keys, n);
+  }
+  std::vector<uint64_t> has_edges(const std::vector<uint64_t>& keys) const {
+    return has_edges(keys.data(), keys.size());
   }
 
   // Staleness of this pinned view relative to the ingest front.
@@ -160,6 +172,38 @@ class StreamingGraph {
       cc_.unite(edge_src(edges[i]), edge_dst(edges[i]));
     }, 256);
     return serve_.insert_batch(std::move(edges));
+  }
+
+  // insert_edges with an ingest-side dedup pass: sorts the batch, probes it
+  // against the pinned view with ONE amortized has_batch, and hands only
+  // the unseen edges to the store. For append-heavy streams that mostly
+  // re-send known edges (crawler re-visits, keep-alive heartbeats) this
+  // removes the store's merge work entirely. The pin may be stale — edges
+  // still queued or published after the pin are probed as absent — so the
+  // filter is an optimization, never a correctness gate: survivors go
+  // through the engine's own deduplicating merge. Returns new edges added.
+  uint64_t insert_edges_dedup(std::vector<uint64_t> edges) {
+    if (edges.empty()) return 0;
+    par::parallel_for(0, edges.size(), [&](uint64_t i) {
+      cc_.unite(edge_src(edges[i]), edge_dst(edges[i]));
+    }, 256);
+    par::parallel_sort(edges.data(), edges.size());
+    const std::vector<uint64_t> bits =
+        serve_.snapshot().has_batch(edges.data(), edges.size());
+    uint64_t w = 0;
+    for (uint64_t i = 0; i < edges.size(); ++i) {
+      if ((bits[i >> 6] >> (i & 63)) & 1) continue;         // already stored
+      if (w > 0 && edges[w - 1] == edges[i]) continue;      // in-batch dup
+      edges[w++] = edges[i];
+    }
+    if (w == 0) return 0;
+    if constexpr (requires { serve_.insert_batch(edges.data(), w, true); }) {
+      return serve_.insert_batch(edges.data(), w, /*sorted=*/true);
+    } else {
+      // DurablePMA exposes only the vector overload (it logs the batch).
+      edges.resize(w);
+      return serve_.insert_batch(std::move(edges));
+    }
   }
 
   // Removals flow through the same batch path but CANNOT be reflected in

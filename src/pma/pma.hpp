@@ -38,6 +38,7 @@
 #include "parallel/seq_ops.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/worker_local.hpp"
+#include "pma/head_eytzinger.hpp"
 #include "pma/implicit_tree.hpp"
 #include "pma/settings.hpp"
 #include "util/bits.hpp"
@@ -130,6 +131,12 @@ class PackedMemoryArray {
 
   // ---- point operations ---------------------------------------------------
 
+  // NOTE: has() and every other query below are genuinely const — no lazy
+  // index repair, no mutable caches. (The head index is repaired eagerly on
+  // the write paths: insert() re-indexes a leaf whose head changed
+  // immediately after the leaf write, never from a read.) Snapshot layers
+  // share one engine across reader threads relying on exactly this;
+  // test_query_batch's TSan case pins it.
   bool has(key_type key) const {
     if (key == 0) return has_zero_;
     uint64_t l = find_leaf(key);
@@ -314,6 +321,44 @@ class PackedMemoryArray {
     }
     return applied;
   }
+
+  // ---- batch queries (read-side twin of the batch-insert pipeline) --------
+  //
+  // All three take SORTED query inputs (duplicates allowed), route them
+  // through the same gallop partition the insert router uses, and decode
+  // each touched leaf ONCE — a single streaming pass shared by every query
+  // landing in that leaf — with per-run work dispatched as parallel tasks
+  // at the merge phase's grain. Wait-free const reads (see has()).
+
+  // Sets bit (bit_base + i) of `bits` for every keys[i] present. Bits for
+  // missing keys are left untouched (callers zero-init), so concurrent
+  // writers of one shared bitmap only ever OR — the sharded layer exploits
+  // this to let sibling shards fill disjoint query slices of one output.
+  void has_batch(const key_type* keys, uint64_t n, uint64_t* bits,
+                 uint64_t bit_base = 0) const;
+
+  // Convenience: bitmap sized to ceil(n / 64) words.
+  std::vector<uint64_t> has_batch(const key_type* keys, uint64_t n) const {
+    std::vector<uint64_t> bits((n + 63) / 64, 0);
+    has_batch(keys, n, bits.data(), 0);
+    return bits;
+  }
+
+  // out[i] = smallest stored key >= keys[i], and bit (bit_base + i) of
+  // `found` is set, for every query with a successor; entries without one
+  // are left untouched. (A sentinel cannot signal "none": both 0 and
+  // UINT64_MAX are storable keys.)
+  void successor_batch(const key_type* keys, uint64_t n, key_type* out,
+                       uint64_t* found, uint64_t bit_base = 0) const;
+
+  // Applies f(range_index, key) to every stored key in each [start, end)
+  // range. `ranges` must be sorted by start and pairwise disjoint. Ranges
+  // are grouped by starting leaf and the groups run as parallel tasks, so f
+  // must be safe to call concurrently for different ranges (same contract
+  // as parallel_map); within one range keys arrive in order.
+  template <typename F>
+  void map_ranges(const std::pair<key_type, key_type>* ranges, uint64_t m,
+                  F&& f) const;
 
   // Parallel sum of all keys.
   uint64_t sum() const {
@@ -527,14 +572,29 @@ class PackedMemoryArray {
     num_leaves_ = kMinLeaves;
     data_.assign(num_leaves_ * leaf_bytes_, 0);  // small: serial zeroing fine
     head_index_.assign(num_leaves_, 0);
+    eytz_.build(head_index_);
     count_ = 0;
   }
 
   // ---- head index ----------------------------------------------------------
+  // Two coupled structures answer find_leaf: the flat `head_index_` (source
+  // of truth — the routing gallop, run_end, and map_range all read it by
+  // position) and `eytz_`, a branchless Eytzinger-layout mirror
+  // (head_eytzinger.hpp) that the point-query descent prefers. Both are
+  // maintained here and ONLY here: every write funnels through
+  // update_head_index / rebuild_head_index, always from the single-writer
+  // update paths.
 
   // Leaf whose key range contains `key`: the first leaf of the run of equal
   // head-index entries ending at the last entry <= key.
   uint64_t find_leaf(key_type key) const {
+    if (eytzinger_enabled()) return eytz_.find_leaf(key);
+    return find_leaf_flat(key);
+  }
+
+  // Flat fallback (CPMA_EYTZINGER=0) and the mirror's reference semantics:
+  // locate the last entry <= key, then a second search for its run's first.
+  uint64_t find_leaf_flat(key_type key) const {
     auto it = std::upper_bound(head_index_.begin(), head_index_.end(), key);
     if (it == head_index_.begin()) return 0;
     --it;
@@ -543,19 +603,27 @@ class PackedMemoryArray {
   }
 
   // Recomputes index entries for leaves [lo, hi), then propagates through any
-  // trailing run of empty leaves.
+  // trailing run of empty leaves; the mirror is repaired over the full extent
+  // actually written.
   void update_head_index(uint64_t lo, uint64_t hi) {
     for (uint64_t l = lo; l < hi; ++l) {
       key_type h = Leaf::head(leaf_ptr(l));
       head_index_[l] = (h != 0) ? h : (l == 0 ? 0 : head_index_[l - 1]);
     }
-    for (uint64_t l = hi; l < num_leaves_; ++l) {
-      if (Leaf::head(leaf_ptr(l)) != 0) break;
-      head_index_[l] = head_index_[l - 1];
+    uint64_t stop = hi;
+    for (; stop < num_leaves_; ++stop) {
+      if (Leaf::head(leaf_ptr(stop)) != 0) break;
+      head_index_[stop] = head_index_[stop - 1];
     }
+    eytz_.repair(head_index_, lo, stop);
   }
 
   void rebuild_head_index() {
+    rebuild_head_index_flat();
+    eytz_.build(head_index_);
+  }
+
+  void rebuild_head_index_flat() {
     head_index_.resize(num_leaves_);
     const uint64_t chunk = 2048;
     if (num_leaves_ <= 2 * chunk) {
@@ -917,6 +985,10 @@ class PackedMemoryArray {
   // Phase 1 routing: fills ctx.runs with the batch's leaf runs (sorted by
   // leaf, disjoint, covering [0, n)).
   void route_batch(const key_type* batch, uint64_t n, BatchContext& ctx) const;
+  // Routing core shared with the batch-query paths: same chunked gallop
+  // partition, but with caller-owned output so queries need no BatchContext.
+  void route_runs(const key_type* batch, uint64_t n, std::vector<LeafRun>& runs,
+                  std::vector<std::vector<LeafRun>>& parts) const;
   void route_chunk(const key_type* batch, uint64_t n, uint64_t lo, uint64_t hi,
                    std::vector<LeafRun>& out) const;
   // End of the batch run routed to leaf l starting at batch index i, and the
@@ -1010,6 +1082,7 @@ class PackedMemoryArray {
   uint64_t count_ = 0;
   bool has_zero_ = false;
   std::vector<key_type> head_index_;
+  EytzingerHeadIndex eytz_;  // branchless mirror of head_index_ (see above)
   util::uvector<uint32_t> overflow_slot_;  // all kNoOverflow between batches
   BatchPhaseTimes phase_times_;
 };

@@ -4,6 +4,8 @@
 // Included at the bottom of pma/pma.hpp; do not include directly.
 #pragma once
 
+#include <atomic>
+
 #include "pma/pma.hpp"
 
 namespace cpma::pma {
@@ -625,23 +627,29 @@ void PackedMemoryArray<Leaf>::route_chunk(const key_type* batch, uint64_t n,
 }
 
 template <typename Leaf>
-void PackedMemoryArray<Leaf>::route_batch(const key_type* batch, uint64_t n,
-                                          BatchContext& ctx) const {
-  ctx.runs.clear();
+void PackedMemoryArray<Leaf>::route_runs(
+    const key_type* batch, uint64_t n, std::vector<LeafRun>& runs,
+    std::vector<std::vector<LeafRun>>& parts) const {
+  runs.clear();
   const uint64_t chunks = std::min<uint64_t>(
       util::div_round_up(n, kRouteChunkKeys),
       uint64_t{8} * par::Scheduler::instance().num_workers());
   if (chunks <= 1) {
-    route_chunk(batch, n, 0, n, ctx.runs);
+    route_chunk(batch, n, 0, n, runs);
     return;
   }
-  auto& parts = ctx.route_parts;
   parts.resize(chunks);
   par::parallel_for(0, chunks, [&](uint64_t c) {
     parts[c].clear();
     route_chunk(batch, n, c * n / chunks, (c + 1) * n / chunks, parts[c]);
   }, 1);
-  par::flatten_parts(parts, ctx.runs);
+  par::flatten_parts(parts, runs);
+}
+
+template <typename Leaf>
+void PackedMemoryArray<Leaf>::route_batch(const key_type* batch, uint64_t n,
+                                          BatchContext& ctx) const {
+  route_runs(batch, n, ctx.runs, ctx.route_parts);
 }
 
 // ---------------------------------------------------------------------------
@@ -1382,6 +1390,210 @@ uint64_t PackedMemoryArray<Leaf>::insert_batch_serial_baseline(
 }
 
 // ---------------------------------------------------------------------------
+// Batch queries: the read-side twin of the batch pipeline. One route_runs
+// partition (the insert router's gallop) turns the sorted query array into
+// per-leaf runs; each run decodes its leaf AT MOST ONCE with a single
+// streaming Leaf::map pass shared by every query in the run, and runs are
+// dispatched as parallel tasks at the merge phase's grain. Hit bits go
+// through relaxed atomic ORs so runs (and sibling shards writing disjoint
+// slices of one bitmap) can share output words.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+inline void set_query_bit(uint64_t* bits, uint64_t i) {
+  std::atomic_ref<uint64_t>(bits[i >> 6])
+      .fetch_or(uint64_t{1} << (i & 63), std::memory_order_relaxed);
+}
+}  // namespace detail
+
+// Run-task grain: same as the merge phase's parallel_for over leaf runs.
+constexpr uint64_t kQueryRunGrain = 4;
+
+template <typename Leaf>
+void PackedMemoryArray<Leaf>::has_batch(const key_type* keys, uint64_t n,
+                                        uint64_t* bits,
+                                        uint64_t bit_base) const {
+  if (n == 0) return;
+  // Key 0 is out of band; zero queries are a (sorted) prefix.
+  uint64_t start = 0;
+  while (start < n && keys[start] == 0) {
+    if (has_zero_) detail::set_query_bit(bits, bit_base + start);
+    ++start;
+  }
+  if (start == n) return;
+  const key_type* qk = keys + start;
+  const uint64_t qn = n - start;
+  std::vector<LeafRun> runs;
+  std::vector<std::vector<LeafRun>> parts;
+  route_runs(qk, qn, runs, parts);
+  par::parallel_for(0, runs.size(), [&](uint64_t r) {
+    const LeafRun& run = runs[r];
+    const uint8_t* lp = leaf_ptr(run.leaf);
+    const key_type h = Leaf::head(lp);
+    auto hit = [&](uint64_t q) {
+      detail::set_query_bit(bits, bit_base + start + q);
+    };
+    // Single-query run: identical work to has() — head compare, then one
+    // leaf search, no merge-join bookkeeping.
+    if (run.end - run.begin == 1) {
+      const key_type k = qk[run.begin];
+      if (k == h) {
+        hit(run.begin);
+      } else if (h != 0 && k > h && Leaf::contains(lp, leaf_bytes_, k)) {
+        hit(run.begin);
+      }
+      return;
+    }
+    uint64_t q = run.begin;
+    // Queries below the head (possible only at leaf 0) are misses; an empty
+    // leaf (h == 0, also only leaf 0 after routing) answers all-miss.
+    while (q < run.end && qk[q] < h) ++q;
+    if (h == 0 || q >= run.end) return;
+    // One streaming pass; both sides ascend, so this is a merge-join. The
+    // head is the first key the pass emits, so exact-head queries resolve
+    // before any delta decoding.
+    Leaf::map(lp, leaf_bytes_, [&](key_type k) {
+      while (q < run.end && qk[q] < k) ++q;
+      while (q < run.end && qk[q] == k) {
+        hit(q);
+        ++q;
+      }
+      return q < run.end;
+    });
+  }, kQueryRunGrain);
+}
+
+template <typename Leaf>
+void PackedMemoryArray<Leaf>::successor_batch(const key_type* keys, uint64_t n,
+                                              key_type* out, uint64_t* found,
+                                              uint64_t bit_base) const {
+  if (n == 0) return;
+  // Zero queries: successor(0) is 0 when the sentinel is set, else the
+  // global minimum nonzero key — the first nonzero head-index entry.
+  uint64_t start = 0;
+  if (keys[0] == 0) {
+    std::optional<key_type> zero_succ;
+    if (has_zero_) {
+      zero_succ = key_type{0};
+    } else {
+      auto it = std::upper_bound(head_index_.begin(), head_index_.end(),
+                                 key_type{0});
+      if (it != head_index_.end()) zero_succ = *it;
+    }
+    while (start < n && keys[start] == 0) {
+      if (zero_succ) {
+        out[start] = *zero_succ;
+        detail::set_query_bit(found, bit_base + start);
+      }
+      ++start;
+    }
+    if (start == n) return;
+  }
+  const key_type* qk = keys + start;
+  const uint64_t qn = n - start;
+  std::vector<LeafRun> runs;
+  std::vector<std::vector<LeafRun>> parts;
+  route_runs(qk, qn, runs, parts);
+  par::parallel_for(0, runs.size(), [&](uint64_t r) {
+    const LeafRun& run = runs[r];
+    const uint8_t* lp = leaf_ptr(run.leaf);
+    const key_type h = Leaf::head(lp);
+    auto answer = [&](uint64_t q, key_type v) {
+      out[start + q] = v;
+      detail::set_query_bit(found, bit_base + start + q);
+    };
+    // Queries past the leaf's last key all share one answer: the next
+    // nonempty leaf's head (the next stored key). run_end-style fast path
+    // on the index before a binary search over its tail.
+    auto spill = [&](uint64_t q) {
+      if (q >= run.end) return;
+      const key_type hi = head_index_[run.leaf];
+      uint64_t nh;
+      if (run.leaf + 1 < num_leaves_ && head_index_[run.leaf + 1] != hi) {
+        nh = run.leaf + 1;
+      } else {
+        auto it = std::upper_bound(head_index_.begin() + run.leaf,
+                                   head_index_.end(), hi);
+        if (it == head_index_.end()) return;  // no successor exists
+        nh = static_cast<uint64_t>(it - head_index_.begin());
+      }
+      for (; q < run.end; ++q) answer(q, head_index_[nh]);
+    };
+    // Single-query run: identical work to successor().
+    if (run.end - run.begin == 1) {
+      const key_type k = qk[run.begin];
+      if (h != 0 && k <= h) {
+        answer(run.begin, h);
+      } else if (auto v = Leaf::lower_bound(lp, leaf_bytes_, k)) {
+        answer(run.begin, *v);
+      } else {
+        spill(run.begin);
+      }
+      return;
+    }
+    uint64_t q = run.begin;
+    if (h == 0) {  // empty leaf 0: everything spills to the first real key
+      spill(q);
+      return;
+    }
+    Leaf::map(lp, leaf_bytes_, [&](key_type k) {
+      while (q < run.end && qk[q] <= k) {
+        answer(q, k);
+        ++q;
+      }
+      return q < run.end;
+    });
+    spill(q);  // queries above the leaf's last key
+  }, kQueryRunGrain);
+}
+
+template <typename Leaf>
+template <typename F>
+void PackedMemoryArray<Leaf>::map_ranges(
+    const std::pair<key_type, key_type>* ranges, uint64_t m, F&& f) const {
+  if (m == 0) return;
+  // Key 0: only the first range can contain it (sorted + disjoint).
+  if (ranges[0].first == 0 && ranges[0].second > 0 && has_zero_) {
+    f(uint64_t{0}, key_type{0});
+  }
+  // Serial gallop over the (sorted) range starts: the start leaf of range i
+  // is at or after the start leaf of range i - 1.
+  util::uvector<uint64_t> sl(m);
+  sl[0] = find_leaf(std::max<key_type>(ranges[0].first, 1));
+  for (uint64_t i = 1; i < m; ++i) {
+    sl[i] = find_leaf_from(sl[i - 1], std::max<key_type>(ranges[i].first, 1));
+  }
+  // Group consecutive ranges sharing a start leaf; each group walks leaves
+  // from its start, decoding each leaf once for all its ranges. (A range
+  // tail crossing into another group's start leaf re-decodes that one leaf;
+  // disjointness keeps the emitted keys exact.)
+  std::vector<std::pair<uint64_t, uint64_t>> groups;  // [begin, end) ranges
+  for (uint64_t i = 0; i < m;) {
+    uint64_t j = i + 1;
+    while (j < m && sl[j] == sl[i]) ++j;
+    groups.emplace_back(i, j);
+    i = j;
+  }
+  par::parallel_for(0, groups.size(), [&](uint64_t g) {
+    auto [gb, ge] = groups[g];
+    uint64_t ri = gb;
+    uint64_t l = sl[gb];
+    while (ri < ge && l < num_leaves_) {
+      Leaf::map(leaf_ptr(l), leaf_bytes_, [&](key_type k) {
+        while (ri < ge && k >= ranges[ri].second) ++ri;
+        if (ri >= ge) return false;
+        if (k >= ranges[ri].first) f(ri, k);
+        return true;
+      });
+      if (ri >= ge) break;
+      // Jump over leaves that cannot contain the next needed key; mid-range
+      // (start already passed) this degenerates to l + 1.
+      l = std::max(find_leaf(std::max<key_type>(ranges[ri].first, 1)), l + 1);
+    }
+  }, 1);
+}
+
+// ---------------------------------------------------------------------------
 // Invariant checking (tests).
 // ---------------------------------------------------------------------------
 
@@ -1427,6 +1639,23 @@ bool PackedMemoryArray<Leaf>::check_invariants(std::string* err) const {
   if (total != count_) {
     return fail("count mismatch: stored " + std::to_string(total) +
                 " vs count_ " + std::to_string(count_));
+  }
+  // The Eytzinger mirror must agree with the flat index entry-for-entry —
+  // both the keys and the folded run-first mapping — so every maintenance
+  // path (point repair, batch repair, rebuild) is checked by every test
+  // that calls check_invariants.
+  if (eytz_.size() != num_leaves_) {
+    return fail("eytzinger mirror size mismatch");
+  }
+  uint64_t run_first = 0;
+  for (uint64_t l = 0; l < num_leaves_; ++l) {
+    if (l > 0 && head_index_[l] != head_index_[l - 1]) run_first = l;
+    if (eytz_.key_at(l) != head_index_[l]) {
+      return fail("eytzinger key mismatch at leaf " + std::to_string(l));
+    }
+    if (eytz_.run_first_at(l) != run_first) {
+      return fail("eytzinger run-first mismatch at leaf " + std::to_string(l));
+    }
   }
   return true;
 }

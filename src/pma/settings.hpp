@@ -72,6 +72,17 @@ inline double adaptive_gv_bytes_per_key() {
   return detail::kAdaptiveGvBytesPerKey;
 }
 
+// CPMA_EYTZINGER=0 disables the branchless Eytzinger mirror of the head
+// index (head_eytzinger.hpp) and falls back to the flat two-binary-search
+// find_leaf. The mirror is maintained either way (its cost is a few writes
+// on paths that already rewrite the flat index); the knob only selects the
+// descent, so flipping it mid-process is safe for experiments.
+namespace detail {
+inline const bool kEytzingerEnabled = util::env_u64("CPMA_EYTZINGER", 1) != 0;
+}  // namespace detail
+
+inline bool eytzinger_enabled() { return detail::kEytzingerEnabled; }
+
 // CPMA_FORCE_CODEC=byte-varint|group-varint|bitmap pins the adaptive leaf
 // to one format (debug aid; bitmap/group-varint still fall back to
 // byte-varint when the forced format cannot fit a particular run).

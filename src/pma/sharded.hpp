@@ -404,6 +404,95 @@ class ShardedPMA {
         0, shards_.size(), [&](uint64_t s) { return shards_[s].sum(); }, 1);
   }
 
+  // ---- batch queries ------------------------------------------------------
+  // Sorted query batches are partitioned against the splitters (the same
+  // gallop as the insert router) and each shard's slice runs as a sibling
+  // task with the engine's full inner parallelism underneath. All slices
+  // write one shared output: bitmap words via relaxed atomic ORs (the
+  // engine's bit protocol), out[] slots per-query exclusive.
+
+  void has_batch(const key_type* keys, uint64_t n, uint64_t* bits,
+                 uint64_t bit_base = 0) const {
+    if (n == 0) return;
+    std::vector<uint64_t> bounds;
+    partition_batch(keys, n, bounds);
+    par::parallel_for(0, shards_.size(), [&](uint64_t s) {
+      const uint64_t b = bounds[s], e = bounds[s + 1];
+      if (e > b) shards_[s].has_batch(keys + b, e - b, bits, bit_base + b);
+    }, 1);
+  }
+
+  std::vector<uint64_t> has_batch(const key_type* keys, uint64_t n) const {
+    std::vector<uint64_t> bits((n + 63) / 64, 0);
+    has_batch(keys, n, bits.data(), 0);
+    return bits;
+  }
+
+  // Per-shard successor_batch, then one stitch pass: queries whose slice
+  // shard holds no key >= them (the slice's unfound SUFFIX — slices are
+  // sorted) share one answer, the next nonempty shard's minimum.
+  void successor_batch(const key_type* keys, uint64_t n, key_type* out,
+                       uint64_t* found, uint64_t bit_base = 0) const {
+    if (n == 0) return;
+    const uint64_t s_count = shards_.size();
+    std::vector<uint64_t> bounds;
+    partition_batch(keys, n, bounds);
+    par::parallel_for(0, s_count, [&](uint64_t s) {
+      const uint64_t b = bounds[s], e = bounds[s + 1];
+      if (e > b) {
+        shards_[s].successor_batch(keys + b, e - b, out + b, found,
+                                   bit_base + b);
+      }
+    }, 1);
+    // next_min[s]: smallest key in any shard after s (the shared answer for
+    // shard s's spill-over queries). The parallel_for above joined, so the
+    // found bits are plainly readable here.
+    std::optional<key_type> next_min;
+    for (uint64_t s = s_count; s-- > 0;) {
+      if (next_min) {
+        for (uint64_t q = bounds[s + 1]; q-- > bounds[s];) {
+          const uint64_t bit = bit_base + q;
+          if ((found[bit >> 6] >> (bit & 63)) & 1) break;  // found suffix ends
+          out[q] = *next_min;
+          found[bit >> 6] |= uint64_t{1} << (bit & 63);
+        }
+      }
+      if (auto v = shards_[s].min()) next_min = v;
+    }
+  }
+
+  // Engine map_ranges stitched across shards: each shard receives the slice
+  // of ranges overlapping its key span (a range straddling a splitter goes
+  // to every shard it crosses — each emits only its stored keys, so the
+  // union is exact). Same f contract as the engine, plus: one straddling
+  // range's keys may arrive from different shard tasks concurrently.
+  template <typename F>
+  void map_ranges(const std::pair<key_type, key_type>* ranges, uint64_t m,
+                  F&& f) const {
+    if (m == 0) return;
+    const uint64_t s_count = shards_.size();
+    std::vector<std::pair<uint64_t, uint64_t>> slices(s_count);
+    uint64_t rb = 0;
+    for (uint64_t s = 0; s < s_count; ++s) {
+      const key_type lo = s == 0 ? 0 : splitters_[s - 1];
+      while (rb < m && ranges[rb].second <= lo) ++rb;
+      uint64_t re = rb;
+      while (re < m &&
+             (s + 1 >= s_count || ranges[re].first < splitters_[s])) {
+        ++re;
+      }
+      slices[s] = {rb, re};
+    }
+    par::parallel_for(0, s_count, [&](uint64_t s) {
+      auto [b, e] = slices[s];
+      if (e > b) {
+        shards_[s].map_ranges(
+            ranges + b, e - b,
+            [&, b](uint64_t ri, key_type k) { f(b + ri, k); });
+      }
+    }, 1);
+  }
+
   // ---- iteration ----------------------------------------------------------
 
   class const_iterator {

@@ -189,6 +189,25 @@ class ServingPMA {
     uint64_t map_range_length(F&& f, key_type start, uint64_t length) const {
       return view_->map_range_length(std::forward<F>(f), start, length);
     }
+    // Amortized batch reads (SnapshotView::has_batch etc.): the multi-get
+    // surface — one pin, one routed pass, one decode per touched leaf,
+    // instead of a descent per key.
+    void has_batch(const key_type* keys, uint64_t n, uint64_t* bits,
+                   uint64_t bit_base = 0) const {
+      view_->has_batch(keys, n, bits, bit_base);
+    }
+    std::vector<uint64_t> has_batch(const key_type* keys, uint64_t n) const {
+      return view_->has_batch(keys, n);
+    }
+    void successor_batch(const key_type* keys, uint64_t n, key_type* out,
+                         uint64_t* found, uint64_t bit_base = 0) const {
+      view_->successor_batch(keys, n, out, found, bit_base);
+    }
+    template <typename F>
+    void map_ranges(const std::pair<key_type, key_type>* ranges, uint64_t m,
+                    F&& f) const {
+      view_->map_ranges(ranges, m, std::forward<F>(f));
+    }
     typename View::const_iterator begin() const { return view_->begin(); }
     typename View::const_iterator end() const { return view_->end(); }
     const View& view() const { return *view_; }
@@ -222,6 +241,16 @@ class ServingPMA {
     return snapshot().successor(key);
   }
   uint64_t size() const { return snapshot().size(); }
+
+  // Pin-per-call batch reads: one pin covers the whole batch, so a client
+  // multi-get costs one epoch pin + one routed pass over the view.
+  std::vector<uint64_t> has_batch(const key_type* keys, uint64_t n) const {
+    return snapshot().has_batch(keys, n);
+  }
+  void successor_batch(const key_type* keys, uint64_t n, key_type* out,
+                       uint64_t* found) const {
+    snapshot().successor_batch(keys, n, out, found);
+  }
 
   // ---- ingest front end (any client thread) -------------------------------
 
